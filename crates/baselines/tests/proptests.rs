@@ -1,0 +1,104 @@
+//! Property-based tests for the distance baselines.
+
+use hdoutlier_baselines::distance::Metric;
+use hdoutlier_baselines::knorr_ng::knorr_ng_outliers;
+use hdoutlier_baselines::lof::lof_scores;
+use hdoutlier_baselines::nn::{knn_brute, VpTree};
+use hdoutlier_baselines::ramaswamy_top_n;
+use hdoutlier_data::Dataset;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (4usize..40, 1usize..5).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-100f64..100.0, n * d)
+            .prop_map(move |values| Dataset::new(values, n, d).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_metrics(
+        a in proptest::collection::vec(-50f64..50.0, 3),
+        b in proptest::collection::vec(-50f64..50.0, 3),
+        c in proptest::collection::vec(-50f64..50.0, 3),
+    ) {
+        for m in [Metric::Manhattan, Metric::Euclidean, Metric::Chebyshev, Metric::Minkowski(3.0)] {
+            let ab = m.distance(&a, &b);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - m.distance(&b, &a)).abs() < 1e-9);
+            prop_assert!(m.distance(&a, &a) < 1e-12);
+            // Triangle inequality.
+            prop_assert!(m.distance(&a, &c) <= ab + m.distance(&b, &c) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn vp_tree_always_matches_brute_force(ds in dataset_strategy(), k in 1usize..5) {
+        let k = k.min(ds.n_rows() - 1);
+        let tree = VpTree::build(&ds, Metric::Euclidean).unwrap();
+        for query in 0..ds.n_rows().min(8) {
+            let brute = knn_brute(&ds, query, k, Metric::Euclidean);
+            let vp = tree.knn_of_row(query, k);
+            prop_assert_eq!(brute.len(), vp.len());
+            for (b, v) in brute.iter().zip(&vp) {
+                prop_assert!((b.distance - v.distance).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ramaswamy_scores_descend_and_rows_unique(ds in dataset_strategy(), k in 1usize..4, n in 1usize..20) {
+        let k = k.min(ds.n_rows() - 1);
+        let top = ramaswamy_top_n(&ds, k, n, Metric::Euclidean).unwrap();
+        prop_assert!(top.len() <= n.min(ds.n_rows()));
+        for w in top.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        let rows: std::collections::HashSet<usize> = top.iter().map(|o| o.row).collect();
+        prop_assert_eq!(rows.len(), top.len());
+    }
+
+    #[test]
+    fn knorr_ng_is_monotone_in_lambda_and_k(ds in dataset_strategy()) {
+        let small = knorr_ng_outliers(&ds, 1, 1.0, Metric::Euclidean).unwrap();
+        let large = knorr_ng_outliers(&ds, 1, 100.0, Metric::Euclidean).unwrap();
+        // Larger λ can only remove outliers.
+        prop_assert!(large.len() <= small.len());
+        for r in &large {
+            prop_assert!(small.contains(r), "λ-monotonicity violated at row {}", r);
+        }
+        // Larger k can only add outliers.
+        let k1 = knorr_ng_outliers(&ds, 1, 10.0, Metric::Euclidean).unwrap();
+        let k3 = knorr_ng_outliers(&ds, 3, 10.0, Metric::Euclidean).unwrap();
+        for r in &k1 {
+            prop_assert!(k3.contains(r), "k-monotonicity violated at row {}", r);
+        }
+    }
+
+    #[test]
+    fn lof_scores_are_positive_and_finite_or_inf(ds in dataset_strategy(), min_pts in 1usize..5) {
+        let min_pts = min_pts.min(ds.n_rows() - 1);
+        let scores = lof_scores(&ds, min_pts, Metric::Euclidean).unwrap();
+        prop_assert_eq!(scores.len(), ds.n_rows());
+        for &s in &scores {
+            prop_assert!(s >= 0.0);
+            prop_assert!(!s.is_nan());
+        }
+    }
+
+    #[test]
+    fn far_point_tops_every_ranking(base in proptest::collection::vec(-1f64..1.0, 20)) {
+        // 10 points in [-1,1]² plus one at (100, 100).
+        let mut rows: Vec<Vec<f64>> = base.chunks(2).map(<[f64]>::to_vec).collect();
+        rows.push(vec![100.0, 100.0]);
+        let n = rows.len();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let top = ramaswamy_top_n(&ds, 1, 1, Metric::Euclidean).unwrap();
+        prop_assert_eq!(top[0].row, n - 1);
+        let lof = lof_scores(&ds, 3, Metric::Euclidean).unwrap();
+        let best = (0..n).max_by(|&a, &b| lof[a].partial_cmp(&lof[b]).unwrap()).unwrap();
+        prop_assert_eq!(best, n - 1);
+    }
+}

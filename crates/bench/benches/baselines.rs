@@ -1,0 +1,41 @@
+//! Cost of the distance-based comparators vs the subspace detector on the
+//! same workload (context for the §3.1 comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdoutlier_baselines::{lof_scores, ramaswamy_top_n, Metric};
+use hdoutlier_core::detector::{OutlierDetector, SearchMethod};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+
+fn bench_baselines(c: &mut Criterion) {
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 500,
+        n_dims: 40,
+        n_outliers: 5,
+        seed: 21,
+        ..PlantedConfig::default()
+    });
+    let ds = &planted.dataset;
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("ramaswamy_1nn_top20", |b| {
+        b.iter(|| ramaswamy_top_n(ds, 1, 20, Metric::Euclidean).unwrap())
+    });
+    group.bench_function("lof_minpts10", |b| {
+        b.iter(|| lof_scores(ds, 10, Metric::Euclidean).unwrap())
+    });
+    let detector = OutlierDetector::builder()
+        .phi(4)
+        .k(3)
+        .m(20)
+        .max_generations(40)
+        .search(SearchMethod::Evolutionary)
+        .build();
+    group.bench_function("subspace_evolutionary", |b| {
+        b.iter(|| detector.detect(ds).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: optimized vs two-point crossover cost per generation, and the
+//! effect of fitness caching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdoutlier_core::crossover::CrossoverKind;
+use hdoutlier_core::evolutionary::{evolutionary_search, EvolutionaryConfig};
+use hdoutlier_core::fitness::SparsityFitness;
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_index::{BitmapCounter, CachedCounter};
+
+fn bench_crossover(c: &mut Criterion) {
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 500,
+        n_dims: 24,
+        n_outliers: 4,
+        seed: 13,
+        ..PlantedConfig::default()
+    });
+    let disc = Discretized::new(&planted.dataset, 4, DiscretizeStrategy::EquiDepth).unwrap();
+    let counter = BitmapCounter::new(&disc);
+
+    let config = |kind| EvolutionaryConfig {
+        m: 10,
+        population: 50,
+        crossover: kind,
+        p1: 0.1,
+        p2: 0.1,
+        max_generations: 25,
+        seed: 13,
+        ..EvolutionaryConfig::default()
+    };
+
+    let mut group = c.benchmark_group("crossover");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("optimized", CrossoverKind::Optimized),
+        ("two_point", CrossoverKind::TwoPoint),
+    ] {
+        let cached = CachedCounter::new(counter.clone());
+        let fitness = SparsityFitness::new(&cached, 3);
+        group.bench_function(format!("{name}_cached"), |b| {
+            b.iter(|| {
+                cached.clear();
+                evolutionary_search(&fitness, &config(kind))
+            })
+        });
+        let fitness_raw = SparsityFitness::new(&counter, 3);
+        group.bench_function(format!("{name}_uncached"), |b| {
+            b.iter(|| evolutionary_search(&fitness_raw, &config(kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

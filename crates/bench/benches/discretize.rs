@@ -1,0 +1,26 @@
+//! Ablation: equi-depth (rank-based) vs equi-width discretization cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::uniform;
+
+fn bench_discretize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretize");
+    for (n, d) in [(1_000usize, 20usize), (10_000, 20), (10_000, 100)] {
+        let ds = uniform(n, d, 3);
+        group.bench_with_input(
+            BenchmarkId::new("equi_depth", format!("{n}x{d}")),
+            &ds,
+            |b, ds| b.iter(|| Discretized::new(ds, 10, DiscretizeStrategy::EquiDepth).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("equi_width", format!("{n}x{d}")),
+            &ds,
+            |b, ds| b.iter(|| Discretized::new(ds, 10, DiscretizeStrategy::EquiWidth).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discretize);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: bitmap-intersection counting vs the naive row scan, and the
+//! incremental-intersection brute-force fast path vs the generic DFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::uniform;
+use hdoutlier_index::{BitmapCounter, Cube, CubeCounter, NaiveCounter};
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index");
+    for n in [1_000usize, 10_000, 100_000] {
+        let ds = uniform(n, 10, 7);
+        let disc = Discretized::new(&ds, 5, DiscretizeStrategy::EquiDepth).unwrap();
+        let bitmap = BitmapCounter::new(&disc);
+        let naive = NaiveCounter::new(&disc);
+        let cubes: Vec<Cube> = (0..50u16)
+            .map(|i| {
+                Cube::new([
+                    ((i % 10) as u32, (i % 5)),
+                    (((i + 3) % 10) as u32, ((i + 1) % 5)),
+                    (((i + 7) % 10) as u32, ((i + 2) % 5)),
+                ])
+                .unwrap()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bitmap", n), &n, |b, _| {
+            b.iter(|| cubes.iter().map(|cube| bitmap.count(cube)).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| cubes.iter().map(|cube| naive.count(cube)).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_brute(c: &mut Criterion) {
+    use hdoutlier_core::brute::{
+        brute_force_search, brute_force_search_incremental, BruteForceConfig,
+    };
+    use hdoutlier_core::fitness::SparsityFitness;
+
+    let ds = uniform(2000, 12, 29);
+    let disc = Discretized::new(&ds, 4, DiscretizeStrategy::EquiDepth).unwrap();
+    let counter = BitmapCounter::new(&disc);
+    let config = BruteForceConfig {
+        m: 20,
+        ..BruteForceConfig::default()
+    };
+    let mut group = c.benchmark_group("brute_backend");
+    group.sample_size(10);
+    let fitness = SparsityFitness::new(&counter, 3);
+    group.bench_function("generic_dfs", |b| {
+        b.iter(|| brute_force_search(&fitness, &config))
+    });
+    group.bench_function("incremental_intersection", |b| {
+        b.iter(|| brute_force_search_incremental(&counter, 3, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters, bench_incremental_brute);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Extension bench: the disjoint-partition parallel brute force vs. serial.
+//!
+//! Note: on a single-core container this measures the partitioning/merge
+//! *overhead* only (a few percent); the speedup requires real cores. The
+//! equivalence of results is covered by `core::brute` unit tests either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoutlier_core::brute::{brute_force_search, brute_force_search_parallel, BruteForceConfig};
+use hdoutlier_core::fitness::SparsityFitness;
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_index::BitmapCounter;
+
+fn bench_parallel(c: &mut Criterion) {
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 800,
+        n_dims: 24,
+        n_outliers: 4,
+        seed: 17,
+        ..PlantedConfig::default()
+    });
+    let disc = Discretized::new(&planted.dataset, 4, DiscretizeStrategy::EquiDepth).unwrap();
+    let counter = BitmapCounter::new(&disc);
+    let config = BruteForceConfig {
+        m: 20,
+        ..BruteForceConfig::default()
+    };
+
+    let mut group = c.benchmark_group("parallel_brute");
+    group.sample_size(10);
+    let fitness = SparsityFitness::new(&counter, 3);
+    group.bench_function("serial", |b| {
+        b.iter(|| brute_force_search(&fitness, &config))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| brute_force_search_parallel(&counter, 3, &config, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

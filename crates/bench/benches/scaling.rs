@@ -1,0 +1,61 @@
+//! Criterion sweep of brute-force vs evolutionary cost with dimensionality
+//! (the §3 complexity observation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoutlier_core::brute::{brute_force_search, BruteForceConfig};
+use hdoutlier_core::evolutionary::{evolutionary_search, EvolutionaryConfig};
+use hdoutlier_core::fitness::SparsityFitness;
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_index::{BitmapCounter, CachedCounter};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for d in [8usize, 16, 32] {
+        let planted = planted_outliers(&PlantedConfig {
+            n_rows: 300,
+            n_dims: d,
+            n_outliers: 3,
+            seed: 11,
+            ..PlantedConfig::default()
+        });
+        let disc = Discretized::new(&planted.dataset, 3, DiscretizeStrategy::EquiDepth).unwrap();
+        let counter = BitmapCounter::new(&disc);
+        let fitness = SparsityFitness::new(&counter, 3);
+        group.bench_with_input(BenchmarkId::new("brute", d), &d, |b, _| {
+            b.iter(|| {
+                brute_force_search(
+                    &fitness,
+                    &BruteForceConfig {
+                        m: 10,
+                        ..BruteForceConfig::default()
+                    },
+                )
+            })
+        });
+        let cached = CachedCounter::new(counter.clone());
+        let fitness_ga = SparsityFitness::new(&cached, 3);
+        group.bench_with_input(BenchmarkId::new("evolutionary", d), &d, |b, _| {
+            b.iter(|| {
+                cached.clear();
+                evolutionary_search(
+                    &fitness_ga,
+                    &EvolutionaryConfig {
+                        m: 10,
+                        population: 50,
+                        max_generations: 30,
+                        p1: 0.1,
+                        p2: 0.1,
+                        seed: 11,
+                        ..EvolutionaryConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion timing for the Table-1 searches on the two datasets where all
+//! three methods complete (machine, breast cancer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdoutlier_bench::table1::{run_dataset, specs};
+use hdoutlier_data::generators::uci_like::{breast_cancer, machine};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    let machine_sim = machine(5);
+    let machine_spec = &specs()[4];
+    group.bench_function("machine_all_methods", |b| {
+        b.iter(|| run_dataset(&machine_sim, machine_spec, 5))
+    });
+
+    let bc_sim = breast_cancer(1);
+    let bc_spec = &specs()[0];
+    group.bench_function("breast_cancer_all_methods", |b| {
+        b.iter(|| run_dataset(&bc_sim, bc_spec, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! §3's complexity observation: the brute-force candidate count
+//! `C(d, k)·φ^k` explodes with dimensionality (7·10⁷ already at d = 20,
+//! k = 4, φ = 10) while the evolutionary algorithm's cost stays governed by
+//! population × generations.
+
+use crate::table;
+use hdoutlier_core::brute::{brute_force_search, BruteForceConfig};
+use hdoutlier_core::crossover::CrossoverKind;
+use hdoutlier_core::evolutionary::{evolutionary_search, EvolutionaryConfig};
+use hdoutlier_core::fitness::SparsityFitness;
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_index::{BitmapCounter, CachedCounter};
+use hdoutlier_stats::SparsityParams;
+use std::time::Duration;
+
+/// One dimensionality point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Dataset dimensionality.
+    pub d: usize,
+    /// Analytic search-space size `C(d, k)·φ^k`.
+    pub space: f64,
+    /// Measured brute-force time (`None` if the budget tripped).
+    pub brute_time: Option<Duration>,
+    /// Brute-force candidates accounted for.
+    pub brute_candidates: u64,
+    /// Measured evolutionary (Gen°) time.
+    pub evo_time: Duration,
+    /// Evolutionary fitness evaluations.
+    pub evo_evaluations: u64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Dimensionalities to test.
+    pub dims: Vec<usize>,
+    /// Rows per dataset.
+    pub n_rows: usize,
+    /// Grid resolution.
+    pub phi: u32,
+    /// Projection dimensionality.
+    pub k: usize,
+    /// Brute-force candidate budget.
+    pub brute_budget: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            dims: vec![8, 12, 16, 24, 32, 48, 64, 96, 128, 160],
+            n_rows: 500,
+            phi: 3,
+            k: 3,
+            brute_budget: 3_000_000,
+            seed: 11,
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<ScalingRow> {
+    config
+        .dims
+        .iter()
+        .map(|&d| {
+            let planted = planted_outliers(&PlantedConfig {
+                n_rows: config.n_rows,
+                n_dims: d,
+                n_outliers: 5,
+                seed: config.seed,
+                ..PlantedConfig::default()
+            });
+            let disc =
+                Discretized::new(&planted.dataset, config.phi, DiscretizeStrategy::EquiDepth)
+                    .expect("non-empty");
+            let counter = BitmapCounter::new(&disc);
+            let fitness = SparsityFitness::new(&counter, config.k);
+            let space = SparsityParams::new(config.n_rows as u64, config.phi, config.k as u32)
+                .expect("valid")
+                .search_space_size(d as u32);
+
+            let start = std::time::Instant::now();
+            let brute = brute_force_search(
+                &fitness,
+                &BruteForceConfig {
+                    m: 20,
+                    require_nonempty: true,
+                    max_candidates: Some(config.brute_budget),
+                },
+            );
+            let brute_time = brute.completed.then(|| start.elapsed());
+
+            let cached = CachedCounter::new(counter.clone());
+            let fitness = SparsityFitness::new(&cached, config.k);
+            let start = std::time::Instant::now();
+            let evo = evolutionary_search(
+                &fitness,
+                &EvolutionaryConfig {
+                    m: 20,
+                    population: 100,
+                    crossover: CrossoverKind::Optimized,
+                    p1: 0.1,
+                    p2: 0.1,
+                    max_generations: 100,
+                    seed: config.seed,
+                    ..EvolutionaryConfig::default()
+                },
+            );
+            let evo_time = start.elapsed();
+
+            ScalingRow {
+                d,
+                space,
+                brute_time,
+                brute_candidates: brute.candidates,
+                evo_time,
+                evo_evaluations: evo.evaluations,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[ScalingRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.d.to_string(),
+                format!("{:.2e}", r.space),
+                r.brute_time.map_or("-".into(), table::ms),
+                r.brute_candidates.to_string(),
+                table::ms(r.evo_time),
+                r.evo_evaluations.to_string(),
+            ]
+        })
+        .collect();
+    table::render(
+        &[
+            "d",
+            "C(d,k)*phi^k",
+            "Brute(ms)",
+            "Brute cand.",
+            "Gen°(ms)",
+            "Gen° evals",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            dims: vec![8, 16, 32],
+            n_rows: 300,
+            brute_budget: 500_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn search_space_grows_superlinearly() {
+        let rows = run(&quick());
+        assert!(rows[1].space > 5.0 * rows[0].space);
+        assert!(rows[2].space > 5.0 * rows[1].space);
+    }
+
+    #[test]
+    fn evolutionary_cost_is_roughly_flat_while_brute_explodes() {
+        let rows = run(&quick());
+        // GA evaluations bounded by population × (generations + 1).
+        for r in &rows {
+            assert!(r.evo_evaluations <= 100 * 101);
+        }
+        // Brute candidates track the space (monotone, superlinear).
+        assert!(rows[2].brute_candidates > rows[0].brute_candidates);
+    }
+
+    #[test]
+    fn paper_example_magnitude() {
+        // §3: d=20, k=4, φ=10 ⇒ ~5·10⁷ combinations.
+        let p = SparsityParams::new(10_000, 10, 4).unwrap();
+        let space = p.search_space_size(20);
+        assert!((4.0e7..8.0e7).contains(&space), "space {space}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 2: class distribution of the arrhythmia dataset.
+//!
+//! Verifies the simulacrum against the published figures: commonly occurring
+//! classes {01, 02, 06, 10, 16} cover 85.4 % of instances, rare classes
+//! (< 5 %) {03, 04, 05, 07, 08, 09, 14, 15} cover 14.6 %.
+
+use crate::table;
+use hdoutlier_data::generators::uci_like::{
+    arrhythmia, ArrhythmiaConfig, ARRHYTHMIA_COMMON_CLASSES, ARRHYTHMIA_RARE_CLASSES,
+};
+
+/// The two rows of Table 2, measured from the generated data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2 {
+    /// Percentage of instances in common classes.
+    pub common_pct: f64,
+    /// Percentage in rare classes.
+    pub rare_pct: f64,
+}
+
+/// Measures the class distribution of the arrhythmia simulacrum.
+pub fn run(config: &ArrhythmiaConfig) -> Table2 {
+    let a = arrhythmia(config);
+    let labels = a.dataset.labels().expect("arrhythmia is labeled");
+    let n = labels.len() as f64;
+    let common = labels
+        .iter()
+        .filter(|l| ARRHYTHMIA_COMMON_CLASSES.contains(l))
+        .count() as f64;
+    let rare = labels
+        .iter()
+        .filter(|l| ARRHYTHMIA_RARE_CLASSES.contains(l))
+        .count() as f64;
+    Table2 {
+        common_pct: 100.0 * common / n,
+        rare_pct: 100.0 * rare / n,
+    }
+}
+
+/// Renders in the paper's layout.
+pub fn render(t: &Table2) -> String {
+    let codes = |cs: &[u32]| {
+        cs.iter()
+            .map(|c| format!("{c:02}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    table::render(
+        &["Case", "Class Codes", "Percentage of Instances"],
+        &[
+            vec![
+                "Commonly Occurring Classes (>= 5%)".into(),
+                codes(ARRHYTHMIA_COMMON_CLASSES),
+                format!("{:.1}%", t.common_pct),
+            ],
+            vec![
+                "Rare Classes (< 5%)".into(),
+                codes(ARRHYTHMIA_RARE_CLASSES),
+                format!("{:.1}%", t.rare_pct),
+            ],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_percentages() {
+        let t = run(&ArrhythmiaConfig::default());
+        assert!(
+            (t.common_pct - 85.4).abs() < 0.05,
+            "common {}",
+            t.common_pct
+        );
+        assert!((t.rare_pct - 14.6).abs() < 0.05, "rare {}", t.rare_pct);
+        assert!((t.common_pct + t.rare_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_shows_both_rows() {
+        let text = render(&run(&ArrhythmiaConfig::default()));
+        assert!(text.contains("85.4%"));
+        assert!(text.contains("14.6%"));
+        assert!(text.contains("03, 04, 05"));
+    }
+}

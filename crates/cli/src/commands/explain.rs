@@ -1,0 +1,204 @@
+//! `hdoutlier explain` — drill into one record: in which subspace views is
+//! it abnormal?
+
+use super::{load_dataset, parse_or_usage, usage_err};
+use crate::args::Spec;
+use crate::exit;
+use crate::json::Json;
+use hdoutlier_core::drill::record_profile;
+use hdoutlier_core::params::advise;
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_index::BitmapCounter;
+
+/// Per-command help.
+pub const HELP: &str = "\
+hdoutlier explain — rank every subspace view of one record by abnormality
+
+USAGE:
+    hdoutlier explain --row <n> [OPTIONS] <input.csv>
+
+OPTIONS:
+    --row <n>            record to profile (required, 0-based)
+    --phi <n>            grid ranges per dimension (default: auto)
+    --k <list>           view dimensionalities, comma separated (default 1,2)
+    --top <n>            views to print (default 10)
+    --label-column <c>   strip column <c> first
+    --delimiter <c>      field separator (default ',')
+    --no-header          first row is data
+    --json               emit JSON
+";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String]) -> (i32, String) {
+    let spec = Spec::new(
+        &["row", "phi", "k", "top", "label-column", "delimiter"],
+        &["json", "no-header"],
+    );
+    let parsed = match parse_or_usage(&spec, argv, HELP) {
+        Ok(p) => p,
+        Err(out) => return out,
+    };
+    let row: usize = match parsed.required("row", "integer") {
+        Ok(r) => r,
+        Err(e) => return usage_err(e, HELP),
+    };
+    let top: usize = match parsed.or("top", "integer", 10) {
+        Ok(t) => t,
+        Err(e) => return usage_err(e, HELP),
+    };
+    let ks: Vec<usize> = match parsed.get("k") {
+        None => vec![1, 2],
+        Some(raw) => {
+            let parsed_ks: Result<Vec<usize>, _> =
+                raw.split(',').map(|p| p.trim().parse()).collect();
+            match parsed_ks {
+                Ok(ks) if !ks.is_empty() => ks,
+                _ => {
+                    return (
+                        exit::USAGE,
+                        format!("--k must be a comma-separated list of integers\n\n{HELP}"),
+                    )
+                }
+            }
+        }
+    };
+
+    let dataset = match load_dataset(&parsed, HELP) {
+        Ok(d) => d,
+        Err(out) => return out,
+    };
+    if row >= dataset.n_rows() {
+        return (
+            exit::RUNTIME,
+            format!("row {row} out of bounds ({} records)", dataset.n_rows()),
+        );
+    }
+    let phi = match parsed.opt::<u32>("phi", "integer") {
+        Ok(Some(p)) => p,
+        Ok(None) => advise(dataset.n_rows() as u64, -3.0).phi,
+        Err(e) => return usage_err(e, HELP),
+    };
+    let disc = match Discretized::new(&dataset, phi, DiscretizeStrategy::EquiDepth) {
+        Ok(d) => d,
+        Err(e) => return (exit::RUNTIME, format!("discretization failed: {e}")),
+    };
+    let present = disc
+        .row(row)
+        .iter()
+        .filter(|&&c| c != hdoutlier_data::discretize::MISSING_CELL)
+        .count();
+    if let Some(&bad) = ks.iter().find(|&&k| k == 0 || k > present) {
+        return (
+            exit::RUNTIME,
+            format!("k = {bad} out of range: record {row} has {present} present attributes"),
+        );
+    }
+    let counter = BitmapCounter::new(&disc);
+    let profile = record_profile(&counter, &disc, row, &ks);
+
+    if parsed.has("json") {
+        let items: Vec<Json> = profile
+            .iter()
+            .take(top)
+            .map(|v| {
+                Json::object()
+                    .field(
+                        "dims",
+                        v.cube
+                            .dims()
+                            .iter()
+                            .map(|&d| d as usize)
+                            .collect::<Vec<_>>(),
+                    )
+                    .field("count", v.count)
+                    .field("sparsity", v.sparsity)
+                    .field("exact_significance", v.exact_significance)
+            })
+            .collect();
+        let j = Json::object()
+            .field("row", row)
+            .field("views_total", profile.len())
+            .field("views", Json::Array(items));
+        return (exit::OK, j.pretty() + "\n");
+    }
+    let mut out = format!(
+        "record {row}: {} views across k = {ks:?}, most abnormal first\n\n",
+        profile.len()
+    );
+    for v in profile.iter().take(top) {
+        let dims: Vec<String> = v
+            .cube
+            .dims()
+            .iter()
+            .map(|&d| disc.name(d as usize).to_string())
+            .collect();
+        out.push_str(&format!(
+            "  [{}]  count {:>4}  S = {:>7.2}  exact P = {:.3e}\n",
+            dims.join(", "),
+            v.count,
+            v.sparsity,
+            v.exact_significance
+        ));
+    }
+    (exit::OK, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::planted_csv;
+    use crate::exit;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn profiles_a_planted_outlier() {
+        let (path, planted_rows) = planted_csv("explain-basic");
+        let row = planted_rows[0].to_string();
+        let (code, out) = super::run(&argv(&[
+            "--row",
+            &row,
+            "--phi=4",
+            "--k=2",
+            "--top=3",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(code, exit::OK, "{out}");
+        assert!(out.contains("most abnormal first"), "{out}");
+        // Top view should be strongly negative for a planted contrarian.
+        assert!(out.contains("S = "), "{out}");
+    }
+
+    #[test]
+    fn json_output() {
+        let (path, _) = planted_csv("explain-json");
+        let (code, out) = super::run(&argv(&[
+            "--row=0",
+            "--phi=4",
+            "--k=1,2",
+            "--json",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(code, exit::OK, "{out}");
+        assert!(out.contains("\"views_total\": 21")); // C(6,1)+C(6,2)
+        assert!(out.contains("\"exact_significance\""));
+    }
+
+    #[test]
+    fn errors() {
+        let (path, _) = planted_csv("explain-errors");
+        let (code, out) = super::run(&argv(&[path.to_str().unwrap()]));
+        assert_eq!(code, exit::USAGE);
+        assert!(out.contains("--row"));
+        let (code, out) = super::run(&argv(&["--row=99999", path.to_str().unwrap()]));
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("out of bounds"));
+        let (code, out) = super::run(&argv(&["--row=0", "--k=0", path.to_str().unwrap()]));
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("out of range"));
+        let (code, out) = super::run(&argv(&["--row=0", "--k=a,b", path.to_str().unwrap()]));
+        assert_eq!(code, exit::USAGE);
+        assert!(out.contains("comma-separated"));
+    }
+}

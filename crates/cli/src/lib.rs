@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Library side of the `hdoutlier` command-line tool.
+//!
+//! Everything testable lives here; `main.rs` is a thin shell. Submodules:
+//!
+//! - [`args`]: a small, dependency-free command-line parser (flags with
+//!   values, `--flag=value` and `--flag value` forms, positional arguments,
+//!   typed getters with error messages);
+//! - [`json`]: a minimal JSON writer (the workspace policy is no external
+//!   dependencies; reports are simple enough that escaping + nesting is all
+//!   that is needed);
+//! - [`commands`]: the `detect`, `advise` and `baseline` subcommands,
+//!   returning their output as a string so tests can assert on it.
+
+pub mod args;
+pub mod commands;
+pub mod json;
+pub mod model_io;
+
+/// Exit codes used by the binary.
+pub mod exit {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// Bad usage (unknown flag, missing argument…).
+    pub const USAGE: i32 = 2;
+    /// Runtime failure (unreadable file, invalid data…).
+    pub const RUNTIME: i32 = 1;
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hdoutlier — subspace outlier detection (Aggarwal & Yu, SIGMOD 2001)
+
+USAGE:
+    hdoutlier <COMMAND> [OPTIONS]
+
+COMMANDS:
+    detect    find outliers in a CSV file via sparse-projection search
+    score     score records against a model saved by `detect --save-model`
+    explain   rank every subspace view of one record by abnormality
+    advise    recommend phi and k for a dataset size (the paper's Eq. 2)
+    baseline  run a distance-based comparator (knn | lof | knorr-ng)
+    help      show this message
+
+Run `hdoutlier <COMMAND> --help` for per-command options.
+";
+
+/// Dispatches a full argument vector (without argv\[0\]); returns
+/// `(exit_code, output)`. Errors are rendered into the output so the binary
+/// stays a one-liner and tests can assert on messages.
+pub fn run(argv: &[String]) -> (i32, String) {
+    let Some(command) = argv.first() else {
+        return (exit::USAGE, USAGE.to_string());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "detect" => commands::detect::run(rest),
+        "score" => commands::score::run(rest),
+        "explain" => commands::explain::run(rest),
+        "advise" => commands::advise::run(rest),
+        "baseline" => commands::baseline::run(rest),
+        "help" | "--help" | "-h" => (exit::OK, USAGE.to_string()),
+        other => (exit::USAGE, format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,13 @@
+//! The `hdoutlier` binary: argument vector in, `(exit code, output)` out.
+//! All logic lives in the library so it is testable.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (code, output) = hdoutlier_cli::run(&argv);
+    if code == hdoutlier_cli::exit::OK {
+        print!("{output}");
+    } else {
+        eprint!("{output}");
+    }
+    std::process::exit(code);
+}

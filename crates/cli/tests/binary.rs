@@ -1,0 +1,124 @@
+//! End-to-end tests of the compiled `hdoutlier` binary — the real
+//! argv/stdout/exit-code surface, including the detect → save-model → score
+//! deployment loop.
+
+use std::process::Command;
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hdoutlier"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hdoutlier-binary-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn write_planted_csv(name: &str) -> std::path::PathBuf {
+    use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 300,
+        n_dims: 6,
+        n_outliers: 3,
+        strong_groups: Some(2),
+        seed: 44,
+        ..PlantedConfig::default()
+    });
+    let path = temp_dir().join(format!("{name}.csv"));
+    hdoutlier_data::csv::write_path(&planted.dataset, &path).expect("writable");
+    path
+}
+
+#[test]
+fn help_and_unknown_command_exit_codes() {
+    let out = binary().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = binary().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = binary().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn detect_save_score_deployment_loop() {
+    let csv = write_planted_csv("binary-loop");
+    let model = temp_dir().join("binary-loop.model.json");
+
+    let out = binary()
+        .args([
+            "detect",
+            "--phi=4",
+            "--k=2",
+            "--m=5",
+            "--search=brute",
+            "--save-model",
+            model.to_str().unwrap(),
+            "--quiet",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let detected: Vec<usize> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().expect("row index"))
+        .collect();
+    assert!(!detected.is_empty());
+    assert!(model.exists());
+
+    // Score the same file through the saved model: the detected rows must
+    // all be flagged again (value-based reassignment on continuous data is
+    // exact for in-sample rows).
+    let out = binary()
+        .args([
+            "score",
+            "--model",
+            model.to_str().unwrap(),
+            "--json",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for row in &detected {
+        assert!(
+            text.contains(&format!("\"row\": {row}")),
+            "row {row} missing from score output:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn advise_runs_standalone() {
+    let out = binary()
+        .args(["advise", "--records", "452"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phi ="), "{text}");
+}
+
+#[test]
+fn runtime_errors_go_to_stderr_with_code_1() {
+    let out = binary()
+        .args(["detect", "/definitely/not/a/file.csv"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}

@@ -1,0 +1,509 @@
+//! The friendly front door: configure once, call
+//! [`OutlierDetector::detect`] on a [`Dataset`], get an interpretable
+//! [`OutlierReport`].
+//!
+//! Wiring order (the paper's pipeline):
+//! dataset → equi-depth grid (§1.3) → posting index → sparsity fitness
+//! (Eq. 1) → brute-force (Fig. 2) or evolutionary (Figs. 3–6) search →
+//! post-processing into outlier rows (§2.3).
+
+use crate::brute::BruteForceConfig;
+use crate::crossover::CrossoverKind;
+use crate::evolutionary::{evolutionary_search, EvolutionaryConfig};
+use crate::fitness::SparsityFitness;
+use crate::params::{advise, DEFAULT_TARGET_SPARSITY};
+use crate::report::{OutlierReport, SearchStats};
+use hdoutlier_data::{DataError, Dataset, DiscretizeStrategy, Discretized};
+use hdoutlier_evolve::SelectionScheme;
+use hdoutlier_index::{BitmapCounter, CachedCounter, CubeCounter};
+use std::fmt;
+use std::time::Instant;
+
+/// Which search locates the sparse projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMethod {
+    /// Exhaustive enumeration (Fig. 2). Only viable at low `d`/`k`.
+    BruteForce,
+    /// The genetic algorithm (Fig. 3).
+    Evolutionary,
+}
+
+/// Errors from [`OutlierDetector::detect`].
+#[derive(Debug)]
+pub enum DetectError {
+    /// Dataset problems (empty, bad shape, φ out of range…).
+    Data(DataError),
+    /// The requested `k` exceeds the dataset's dimensionality.
+    KTooLarge {
+        /// Requested projection dimensionality.
+        k: usize,
+        /// Dataset dimensionality.
+        d: usize,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Data(e) => write!(f, "data error: {e}"),
+            DetectError::KTooLarge { k, d } => {
+                write!(
+                    f,
+                    "projection dimensionality k = {k} exceeds dataset dimensionality {d}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<DataError> for DetectError {
+    fn from(e: DataError) -> Self {
+        DetectError::Data(e)
+    }
+}
+
+/// Full configuration; build through [`OutlierDetector::builder`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Grid ranges per dimension; `None` = §2.4 advisor.
+    pub phi: Option<u32>,
+    /// Projection dimensionality; `None` = Eq. 2 with `target_sparsity`.
+    pub k: Option<usize>,
+    /// Number of best projections to report.
+    pub m: usize,
+    /// Target sparsity for the parameter advisor.
+    pub target_sparsity: f64,
+    /// If set, drop reported projections with sparsity above this threshold
+    /// (the §3.1 arrhythmia experiment keeps only `S ≤ −3`).
+    pub sparsity_threshold: Option<f64>,
+    /// Search strategy.
+    pub search: SearchMethod,
+    /// Grid strategy (equi-depth is the paper's; equi-width is the ablation).
+    pub strategy: DiscretizeStrategy,
+    /// GA population size.
+    pub population: usize,
+    /// GA crossover mechanism.
+    pub crossover: CrossoverKind,
+    /// GA mutation probability (`p1 = p2`, as in the paper).
+    pub mutation_rate: f64,
+    /// GA selection scheme.
+    pub selection: SelectionScheme,
+    /// GA generation cap.
+    pub max_generations: usize,
+    /// Brute-force candidate budget (`None` = unlimited).
+    pub max_candidates: Option<u64>,
+    /// OS threads for the brute-force search (1 = the paper's serial
+    /// algorithm; more uses the disjoint-partition parallel extension).
+    pub threads: usize,
+    /// Only report projections covering at least one record.
+    pub require_nonempty: bool,
+    /// RNG seed (GA only).
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            phi: None,
+            k: None,
+            m: 20,
+            target_sparsity: DEFAULT_TARGET_SPARSITY,
+            sparsity_threshold: None,
+            search: SearchMethod::Evolutionary,
+            strategy: DiscretizeStrategy::EquiDepth,
+            population: 100,
+            crossover: CrossoverKind::Optimized,
+            mutation_rate: 0.15,
+            selection: SelectionScheme::RankRoulette,
+            max_generations: 500,
+            max_candidates: None,
+            threads: 1,
+            require_nonempty: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The configured detector.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector {
+    config: DetectorConfig,
+}
+
+impl OutlierDetector {
+    /// Starts a builder with defaults.
+    pub fn builder() -> DetectorBuilder {
+        DetectorBuilder {
+            config: DetectorConfig::default(),
+        }
+    }
+
+    /// Wraps an explicit configuration.
+    pub fn with_config(config: DetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a dataset.
+    pub fn detect(&self, dataset: &Dataset) -> Result<OutlierReport, DetectError> {
+        let phi = self
+            .config
+            .phi
+            .unwrap_or_else(|| advise(dataset.n_rows() as u64, self.config.target_sparsity).phi);
+        let disc = Discretized::new(dataset, phi, self.config.strategy)?;
+        self.detect_discretized(&disc)
+    }
+
+    /// Runs the search on an already-discretized dataset (lets callers reuse
+    /// a grid across configurations).
+    pub fn detect_discretized(&self, disc: &Discretized) -> Result<OutlierReport, DetectError> {
+        let k = match self.config.k {
+            Some(k) => k,
+            None => advise(disc.n_rows() as u64, self.config.target_sparsity).k as usize,
+        };
+        if k > disc.n_dims() {
+            return Err(DetectError::KTooLarge {
+                k,
+                d: disc.n_dims(),
+            });
+        }
+        let counter = BitmapCounter::new(disc);
+        let report = match self.config.search {
+            SearchMethod::BruteForce => self.run_brute(&counter, k),
+            SearchMethod::Evolutionary => {
+                // The GA revisits strings constantly; memoize counts.
+                let cached = CachedCounter::new(counter);
+                self.run_evolutionary(&cached, k)
+            }
+        };
+        Ok(match self.config.sparsity_threshold {
+            Some(t) => report.filtered_by_sparsity(t),
+            None => report,
+        })
+    }
+
+    fn run_brute(&self, counter: &BitmapCounter, k: usize) -> OutlierReport {
+        let fitness = SparsityFitness::new(counter, k);
+        let start = Instant::now();
+        let config = BruteForceConfig {
+            m: self.config.m,
+            require_nonempty: self.config.require_nonempty,
+            max_candidates: self.config.max_candidates,
+        };
+        let outcome = if self.config.threads > 1 {
+            crate::brute::brute_force_search_parallel(counter, k, &config, self.config.threads)
+        } else {
+            // The incremental-intersection fast path (identical results,
+            // ~k× fewer word operations per node; see the `index` bench).
+            crate::brute::brute_force_search_incremental(counter, k, &config)
+        };
+        let stats = SearchStats {
+            work: outcome.candidates,
+            generations: 0,
+            completed: outcome.completed,
+            elapsed: start.elapsed(),
+        };
+        OutlierReport::from_scored(outcome.best, &fitness, stats)
+    }
+
+    fn run_evolutionary<C: CubeCounter>(&self, counter: &C, k: usize) -> OutlierReport {
+        let fitness = SparsityFitness::new(counter, k);
+        let start = Instant::now();
+        let outcome = evolutionary_search(
+            &fitness,
+            &EvolutionaryConfig {
+                m: self.config.m,
+                population: self.config.population,
+                crossover: self.config.crossover,
+                p1: self.config.mutation_rate,
+                p2: self.config.mutation_rate,
+                selection: self.config.selection,
+                convergence_threshold: 0.95,
+                max_generations: self.config.max_generations,
+                require_nonempty: self.config.require_nonempty,
+                track_internal_candidates: true,
+                seed: self.config.seed,
+            },
+        );
+        let stats = SearchStats {
+            work: outcome.evaluations,
+            generations: outcome.generations,
+            completed: outcome.converged,
+            elapsed: start.elapsed(),
+        };
+        OutlierReport::from_scored(outcome.best, &fitness, stats)
+    }
+}
+
+/// Fluent builder for [`OutlierDetector`].
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder {
+    config: DetectorConfig,
+}
+
+impl DetectorBuilder {
+    /// Sets φ (grid ranges per dimension).
+    pub fn phi(mut self, phi: u32) -> Self {
+        self.config.phi = Some(phi);
+        self
+    }
+
+    /// Sets the projection dimensionality `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = Some(k);
+        self
+    }
+
+    /// Sets the number of projections to report (`m`).
+    pub fn m(mut self, m: usize) -> Self {
+        self.config.m = m;
+        self
+    }
+
+    /// Sets the advisor's target sparsity (default −3).
+    pub fn target_sparsity(mut self, s: f64) -> Self {
+        self.config.target_sparsity = s;
+        self
+    }
+
+    /// Keeps only projections with sparsity ≤ `threshold` in the report.
+    pub fn sparsity_threshold(mut self, threshold: f64) -> Self {
+        self.config.sparsity_threshold = Some(threshold);
+        self
+    }
+
+    /// Chooses the search method.
+    pub fn search(mut self, method: SearchMethod) -> Self {
+        self.config.search = method;
+        self
+    }
+
+    /// Chooses the discretization strategy.
+    pub fn strategy(mut self, strategy: DiscretizeStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the GA population size.
+    pub fn population(mut self, p: usize) -> Self {
+        self.config.population = p;
+        self
+    }
+
+    /// Chooses the crossover mechanism.
+    pub fn crossover(mut self, kind: CrossoverKind) -> Self {
+        self.config.crossover = kind;
+        self
+    }
+
+    /// Sets `p1 = p2` mutation probability.
+    pub fn mutation_rate(mut self, p: f64) -> Self {
+        self.config.mutation_rate = p;
+        self
+    }
+
+    /// Chooses the selection scheme.
+    pub fn selection(mut self, scheme: SelectionScheme) -> Self {
+        self.config.selection = scheme;
+        self
+    }
+
+    /// Caps GA generations.
+    pub fn max_generations(mut self, g: usize) -> Self {
+        self.config.max_generations = g;
+        self
+    }
+
+    /// Caps brute-force candidates.
+    pub fn max_candidates(mut self, c: u64) -> Self {
+        self.config.max_candidates = Some(c);
+        self
+    }
+
+    /// Uses `t` OS threads for the brute-force search.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.config.threads = t;
+        self
+    }
+
+    /// Whether empty projections may be reported (default: no).
+    pub fn require_nonempty(mut self, yes: bool) -> Self {
+        self.config.require_nonempty = yes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the detector.
+    pub fn build(self) -> OutlierDetector {
+        OutlierDetector {
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+
+    fn planted() -> hdoutlier_data::generators::PlantedOutliers {
+        planted_outliers(&PlantedConfig {
+            n_rows: 1200,
+            n_dims: 10,
+            n_outliers: 5,
+            seed: 61,
+            ..PlantedConfig::default()
+        })
+    }
+
+    #[test]
+    fn brute_force_end_to_end_finds_planted() {
+        let p = planted();
+        let report = OutlierDetector::builder()
+            .phi(5)
+            .k(2)
+            .m(10)
+            .search(SearchMethod::BruteForce)
+            .build()
+            .detect(&p.dataset)
+            .unwrap();
+        assert_eq!(report.projections.len(), 10);
+        assert!(report.stats.completed);
+        assert!(report.stats.work > 0);
+        let recall = p.recall(&report.outlier_rows).unwrap();
+        assert!(recall >= 0.6, "recall {recall}");
+    }
+
+    #[test]
+    fn evolutionary_end_to_end_finds_planted() {
+        let p = planted();
+        let report = OutlierDetector::builder()
+            .phi(5)
+            .k(2)
+            .m(10)
+            .seed(5)
+            .search(SearchMethod::Evolutionary)
+            .build()
+            .detect(&p.dataset)
+            .unwrap();
+        assert!(!report.projections.is_empty());
+        let recall = p.recall(&report.outlier_rows).unwrap();
+        assert!(recall >= 0.4, "recall {recall}");
+        assert!(report.stats.work > 0);
+    }
+
+    #[test]
+    fn auto_parameters_follow_the_advisor() {
+        let p = planted();
+        let detector = OutlierDetector::builder()
+            .search(SearchMethod::Evolutionary)
+            .max_generations(20)
+            .build();
+        // No phi/k set: must not panic and must produce a valid report.
+        let report = detector.detect(&p.dataset).unwrap();
+        for s in &report.projections {
+            let advice = crate::params::advise(1200, -3.0);
+            assert!(s.projection.is_feasible(advice.k as usize));
+        }
+    }
+
+    #[test]
+    fn sparsity_threshold_filters_report() {
+        let p = planted();
+        let all = OutlierDetector::builder()
+            .phi(5)
+            .k(2)
+            .m(20)
+            .search(SearchMethod::BruteForce)
+            .build()
+            .detect(&p.dataset)
+            .unwrap();
+        let strict = OutlierDetector::builder()
+            .phi(5)
+            .k(2)
+            .m(20)
+            .search(SearchMethod::BruteForce)
+            .sparsity_threshold(-3.0)
+            .build()
+            .detect(&p.dataset)
+            .unwrap();
+        assert!(strict.projections.len() <= all.projections.len());
+        assert!(strict.projections.iter().all(|s| s.sparsity <= -3.0));
+    }
+
+    #[test]
+    fn k_too_large_is_an_error() {
+        let p = planted();
+        let err = OutlierDetector::builder()
+            .phi(5)
+            .k(99)
+            .build()
+            .detect(&p.dataset)
+            .unwrap_err();
+        assert!(matches!(err, DetectError::KTooLarge { k: 99, d: 10 }));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn bad_phi_propagates_data_error() {
+        let p = planted();
+        let err = OutlierDetector::builder()
+            .phi(0)
+            .k(2)
+            .build()
+            .detect(&p.dataset)
+            .unwrap_err();
+        assert!(matches!(err, DetectError::Data(_)));
+    }
+
+    #[test]
+    fn detect_is_deterministic() {
+        let p = planted();
+        let detector = OutlierDetector::builder()
+            .phi(4)
+            .k(2)
+            .m(5)
+            .seed(17)
+            .max_generations(40)
+            .build();
+        let a = detector.detect(&p.dataset).unwrap();
+        let b = detector.detect(&p.dataset).unwrap();
+        assert_eq!(a.outlier_rows, b.outlier_rows);
+        assert_eq!(
+            a.projections
+                .iter()
+                .map(|s| s.projection.clone())
+                .collect::<Vec<_>>(),
+            b.projections
+                .iter()
+                .map(|s| s.projection.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reusing_a_grid_matches_detect() {
+        let p = planted();
+        let detector = OutlierDetector::builder()
+            .phi(4)
+            .k(2)
+            .m(5)
+            .search(SearchMethod::BruteForce)
+            .build();
+        let direct = detector.detect(&p.dataset).unwrap();
+        let disc = Discretized::new(&p.dataset, 4, DiscretizeStrategy::EquiDepth).unwrap();
+        let reused = detector.detect_discretized(&disc).unwrap();
+        assert_eq!(direct.outlier_rows, reused.outlier_rows);
+    }
+}

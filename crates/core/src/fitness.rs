@@ -1,0 +1,258 @@
+//! Fitness of a projection string: the sparsity coefficient of its cube
+//! (paper Eq. 1), evaluated through a cube counter.
+//!
+//! Fitness is minimized (most negative coefficient = fittest). Infeasible
+//! strings — wrong dimensionality for the run — receive `+∞`, the paper's
+//! "very low fitness values" for solutions outside the feasible search
+//! space (§2.2).
+
+use crate::projection::Projection;
+use hdoutlier_index::{Cube, CubeCounter};
+use hdoutlier_stats::SparsityParams;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Evaluates sparsity coefficients for projections of a fixed dataset.
+pub struct SparsityFitness<'a, C: CubeCounter> {
+    counter: &'a C,
+    /// Target dimensionality `k` of feasible projections.
+    k: usize,
+    /// Pre-validated parameters per possible sub-dimensionality `1..=k`,
+    /// so partial strings (used by the optimized crossover's greedy phase)
+    /// are scored with the correct `N·f^j` baseline.
+    params_by_k: Vec<Option<SparsityParams>>,
+    /// When enabled, every full-k cube whose sparsity this fitness computes
+    /// is recorded — including the candidates the optimized crossover
+    /// examines internally. The evolutionary search drains this to build its
+    /// best-m set, so solutions the algorithm *computed* but never promoted
+    /// into the population still count as "kept track of" (paper Fig. 3).
+    tracked: RefCell<Option<HashMap<Cube, f64>>>,
+    /// Tabu set for multi-restart search: genomes whose cube is banned score
+    /// `+∞` so the population is pushed toward *new* sparse regions. Bans
+    /// apply only at the genome level ([`SparsityFitness::evaluate`]); the
+    /// crossover's internal [`SparsityFitness::sparsity_of_cube`] calls
+    /// still see true scores, so banned cubes remain usable as stepping
+    /// stones.
+    banned: RefCell<std::collections::HashSet<Cube>>,
+}
+
+impl<'a, C: CubeCounter> SparsityFitness<'a, C> {
+    /// Binds a counter and the run's target dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds the counter's dimensionality.
+    pub fn new(counter: &'a C, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            k <= counter.n_dims(),
+            "k = {k} exceeds dataset dimensionality {}",
+            counter.n_dims()
+        );
+        let n = counter.n_rows() as u64;
+        let phi = counter.phi();
+        let params_by_k = (0..=k)
+            .map(|j| {
+                if j == 0 {
+                    None
+                } else {
+                    SparsityParams::new(n, phi, j as u32)
+                }
+            })
+            .collect();
+        Self {
+            counter,
+            k,
+            params_by_k,
+            tracked: RefCell::new(None),
+            banned: RefCell::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// Bans a cube: genomes resolving to it score `+∞` from now on. Used by
+    /// [`crate::evolutionary::multi_restart_search`] to force successive
+    /// restarts into unexplored regions.
+    pub fn ban(&self, cube: Cube) {
+        self.banned.borrow_mut().insert(cube);
+    }
+
+    /// Number of currently banned cubes.
+    pub fn banned_len(&self) -> usize {
+        self.banned.borrow().len()
+    }
+
+    /// Removes all bans.
+    pub fn clear_bans(&self) {
+        self.banned.borrow_mut().clear();
+    }
+
+    /// Starts recording every full-k cube scored by this fitness (idempotent;
+    /// clears any previous recording).
+    pub fn enable_tracking(&self) {
+        *self.tracked.borrow_mut() = Some(HashMap::new());
+    }
+
+    /// Stops recording and returns everything recorded since
+    /// [`SparsityFitness::enable_tracking`]. Returns an empty map if
+    /// tracking was never enabled.
+    pub fn take_tracked(&self) -> HashMap<Cube, f64> {
+        self.tracked.borrow_mut().take().unwrap_or_default()
+    }
+
+    /// The run's target dimensionality.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying counter.
+    pub fn counter(&self) -> &C {
+        self.counter
+    }
+
+    /// Sparsity parameters at the target dimensionality.
+    pub fn params(&self) -> SparsityParams {
+        self.params_by_k[self.k].expect("validated in new")
+    }
+
+    /// Full fitness: sparsity coefficient for feasible strings, `+∞`
+    /// otherwise.
+    pub fn evaluate(&self, projection: &Projection) -> f64 {
+        if !projection.is_feasible(self.k) {
+            return f64::INFINITY;
+        }
+        let cube = projection
+            .to_cube()
+            .expect("feasible projection with k >= 1 has a cube");
+        if !self.banned.borrow().is_empty() && self.banned.borrow().contains(&cube) {
+            return f64::INFINITY;
+        }
+        self.sparsity_of_cube(&cube)
+    }
+
+    /// Sparsity of an arbitrary cube at *its own* dimensionality, for
+    /// partial strings during optimized crossover. Cubes deeper than the
+    /// run's `k` are infeasible and score `+∞`.
+    pub fn sparsity_of_cube(&self, cube: &Cube) -> f64 {
+        match self.params_by_k.get(cube.k()).copied().flatten() {
+            Some(params) => {
+                let s = params.sparsity(self.counter.count(cube) as u64);
+                if cube.k() == self.k {
+                    if let Some(tracked) = self.tracked.borrow_mut().as_mut() {
+                        tracked.insert(cube.clone(), s);
+                    }
+                }
+                s
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Occupancy of a projection's cube; `None` for the all-star projection
+    /// (which trivially contains every record).
+    pub fn count(&self, projection: &Projection) -> Option<usize> {
+        projection.to_cube().map(|c| self.counter.count(&c))
+    }
+
+    /// Rows covering a projection.
+    pub fn rows(&self, projection: &Projection) -> Vec<usize> {
+        match projection.to_cube() {
+            Some(cube) => self.counter.rows(&cube),
+            None => (0..self.counter.n_rows()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::STAR;
+    use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+    use hdoutlier_data::generators::uniform;
+    use hdoutlier_index::BitmapCounter;
+
+    fn fixture() -> (BitmapCounter, usize) {
+        let ds = uniform(1000, 5, 7);
+        let disc = Discretized::new(&ds, 4, DiscretizeStrategy::EquiDepth).unwrap();
+        (BitmapCounter::new(&disc), 1000)
+    }
+
+    #[test]
+    fn feasible_projection_scores_eq1() {
+        let (counter, n) = fixture();
+        let fitness = SparsityFitness::new(&counter, 2);
+        let p = Projection::from_genes(vec![0, STAR, 3, STAR, STAR]);
+        let count = fitness.count(&p).unwrap();
+        let want = hdoutlier_stats::sparsity_coefficient(count as u64, n as u64, 4, 2);
+        assert_eq!(fitness.evaluate(&p), want);
+    }
+
+    #[test]
+    fn infeasible_projection_is_infinity() {
+        let (counter, _) = fixture();
+        let fitness = SparsityFitness::new(&counter, 2);
+        // k = 1 and k = 3 strings are infeasible for a k = 2 run.
+        assert_eq!(
+            fitness.evaluate(&Projection::from_genes(vec![0, STAR, STAR, STAR, STAR])),
+            f64::INFINITY
+        );
+        assert_eq!(
+            fitness.evaluate(&Projection::from_genes(vec![0, 1, 2, STAR, STAR])),
+            f64::INFINITY
+        );
+        assert_eq!(fitness.evaluate(&Projection::all_star(5)), f64::INFINITY);
+    }
+
+    #[test]
+    fn partial_cube_scoring_uses_own_dimensionality() {
+        let (counter, n) = fixture();
+        let fitness = SparsityFitness::new(&counter, 3);
+        let cube = hdoutlier_index::Cube::new([(0, 1)]).unwrap();
+        let got = fitness.sparsity_of_cube(&cube);
+        let count = counter.count(&cube);
+        let want = hdoutlier_stats::sparsity_coefficient(count as u64, n as u64, 4, 1);
+        assert_eq!(got, want);
+        // Deeper than k is infeasible.
+        let deep = hdoutlier_index::Cube::new([(0, 0), (1, 0), (2, 0), (3, 0)]).unwrap();
+        assert_eq!(fitness.sparsity_of_cube(&deep), f64::INFINITY);
+    }
+
+    #[test]
+    fn uniform_data_has_mild_coefficients_at_k1() {
+        // Equi-depth on 1000 rows, φ=4: every 1-d range holds exactly 250,
+        // so every k=1 sparsity coefficient is ~0.
+        let (counter, _) = fixture();
+        let fitness = SparsityFitness::new(&counter, 1);
+        for dim in 0..5 {
+            for r in 0..4u16 {
+                let mut genes = vec![STAR; 5];
+                genes[dim] = r;
+                let s = fitness.evaluate(&Projection::from_genes(genes));
+                assert!(s.abs() < 0.1, "dim {dim} range {r}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_and_count_agree() {
+        let (counter, _) = fixture();
+        let fitness = SparsityFitness::new(&counter, 2);
+        let p = Projection::from_genes(vec![1, STAR, STAR, 2, STAR]);
+        assert_eq!(fitness.rows(&p).len(), fitness.count(&p).unwrap());
+        // All-star covers everything.
+        assert_eq!(fitness.rows(&Projection::all_star(5)).len(), 1000);
+        assert_eq!(fitness.count(&Projection::all_star(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let (counter, _) = fixture();
+        SparsityFitness::new(&counter, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dataset dimensionality")]
+    fn oversized_k_panics() {
+        let (counter, _) = fixture();
+        SparsityFitness::new(&counter, 6);
+    }
+}

@@ -1,0 +1,102 @@
+//! The projection-parameter advisor (paper §2.4).
+//!
+//! Balances two pressures: `φ` must be large enough that a grid range is a
+//! "reasonable notion of locality", yet `φ^k` small enough that a cube
+//! holding a single point still has a decidedly negative sparsity
+//! coefficient. Given `φ` and a target coefficient `s` (−3 by default, the
+//! paper's 99.9 %-significance reference point), Eq. 2 fixes
+//! `k* = ⌊log_φ(N/s² + 1)⌋`.
+
+use hdoutlier_stats::{empty_cube_coefficient, recommended_k};
+
+/// Advice produced by [`advise`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParameterAdvice {
+    /// Grid ranges per dimension.
+    pub phi: u32,
+    /// Projection dimensionality `k*` per Eq. 2.
+    pub k: u32,
+    /// The sparsity coefficient an *empty* cube gets at `(φ, k)` — the most
+    /// negative value any projection can attain. §2.4 notes the floor in
+    /// Eq. 2 usually makes this "slightly more negative" than the target.
+    pub empty_cube_sparsity: f64,
+}
+
+/// Target sparsity used when the caller does not specify one.
+pub const DEFAULT_TARGET_SPARSITY: f64 = -3.0;
+
+/// Picks `(φ, k)` for a dataset of `n_records` records.
+///
+/// `phi` is chosen so each 1-d range holds at least ~25 records (locality
+/// needs enough mass to be meaningful) but stays within `[3, 10]` — the
+/// paper's examples use φ up to 10. `k` then follows Eq. 2 for
+/// `target_sparsity`; if even `k = 1` is not significant the advisor falls
+/// back to `k = 1` with a warning flag via `None` from [`recommended_k`]
+/// being coerced — callers that care should inspect `empty_cube_sparsity`.
+pub fn advise(n_records: u64, target_sparsity: f64) -> ParameterAdvice {
+    let phi = suggest_phi(n_records);
+    let k = recommended_k(n_records, phi, target_sparsity).unwrap_or(1);
+    ParameterAdvice {
+        phi,
+        k,
+        empty_cube_sparsity: empty_cube_coefficient(n_records, phi, k),
+    }
+}
+
+/// The φ heuristic: `min(10, max(3, N / 25))`.
+pub fn suggest_phi(n_records: u64) -> u32 {
+    (n_records / 25).clamp(3, 10) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_bounds() {
+        assert_eq!(suggest_phi(10), 3); // tiny data: few, fat ranges
+        assert_eq!(suggest_phi(100), 4);
+        assert_eq!(suggest_phi(250), 10);
+        assert_eq!(suggest_phi(1_000_000), 10); // capped at the paper's max
+    }
+
+    #[test]
+    fn advice_is_consistent_with_eq2() {
+        let a = advise(10_000, -3.0);
+        assert_eq!(a.phi, 10);
+        assert_eq!(a.k, 3); // log10(10000/9 + 1) ≈ 3.046
+                            // Empty cube at (10, 3) on 10k records: −sqrt(10000/999) ≈ −3.16,
+                            // at or below the −3 target (the floor makes it more negative).
+        assert!(a.empty_cube_sparsity <= -3.0);
+        assert!((a.empty_cube_sparsity - empty_cube_coefficient(10_000, 10, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_datasets_fall_back_to_k1() {
+        // N = 5, φ = 3: Eq. 2 gives k* < 1 (even a 1-d empty range is only
+        // −sqrt(5/2) ≈ −1.58 σ); the advisor falls back to k = 1 and the
+        // weak empty-cube coefficient exposes the fallback.
+        let a = advise(5, -3.0);
+        assert_eq!(a.k, 1);
+        assert!(a.empty_cube_sparsity > -3.0);
+    }
+
+    #[test]
+    fn arrhythmia_scale_matches_paper_regime() {
+        // 452 records: the paper mines 2-d projections at small φ.
+        let a = advise(452, -3.0);
+        assert!(a.phi >= 3);
+        assert!((1..=3).contains(&a.k), "k = {}", a.k);
+        // At the advised parameters, a single-point cube is still clearly
+        // sparse (§2.4's requirement).
+        let one_point = hdoutlier_stats::sparsity_coefficient(1, 452, a.phi, a.k);
+        assert!(one_point < -1.5, "single-point sparsity {one_point}");
+    }
+
+    #[test]
+    fn stronger_targets_shrink_k() {
+        let weak = advise(100_000, -2.0);
+        let strong = advise(100_000, -5.0);
+        assert!(strong.k <= weak.k);
+    }
+}

@@ -1,0 +1,295 @@
+//! The projection-string genome (paper §2.2).
+//!
+//! A solution is a string with one position per dimension; each position
+//! holds either a grid range in `1..=φ` or `*` ("don't care"). The paper's
+//! example in 4 dimensions with φ = 10 is `*3*9`: ranges fixed on the second
+//! and fourth dimensions. A string is **feasible** for a run when exactly
+//! `k` positions are non-star.
+//!
+//! Internally ranges are 0-based `u16` with [`STAR`] as the sentinel;
+//! [`std::fmt::Display`] renders the paper's 1-based notation.
+
+use hdoutlier_index::Cube;
+use rand::Rng;
+use std::fmt;
+
+/// Sentinel gene value for `*` ("don't care").
+pub const STAR: u16 = u16::MAX;
+
+/// A projection string: one gene per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Projection {
+    genes: Vec<u16>,
+}
+
+impl Projection {
+    /// Builds a projection from raw genes (`STAR` or a 0-based range).
+    pub fn from_genes(genes: Vec<u16>) -> Self {
+        Self { genes }
+    }
+
+    /// The all-star projection of dimensionality `d` (constrains nothing).
+    pub fn all_star(d: usize) -> Self {
+        Self {
+            genes: vec![STAR; d],
+        }
+    }
+
+    /// A uniformly random feasible projection: exactly `k` of `d` positions
+    /// constrained, each to a uniform range in `0..phi`.
+    ///
+    /// # Panics
+    /// Panics if `k > d` or `phi == 0`.
+    pub fn random<R: Rng>(d: usize, k: usize, phi: u32, rng: &mut R) -> Self {
+        assert!(k <= d, "k = {k} exceeds dimensionality {d}");
+        assert!(phi > 0, "phi must be positive");
+        let mut genes = vec![STAR; d];
+        // Reservoir-free selection of k distinct positions.
+        let mut chosen = 0usize;
+        for (pos, gene) in genes.iter_mut().enumerate() {
+            let remaining = d - pos;
+            let needed = k - chosen;
+            if needed > 0 && rng.gen_range(0..remaining) < needed {
+                *gene = rng.gen_range(0..phi) as u16;
+                chosen += 1;
+            }
+        }
+        Self { genes }
+    }
+
+    /// Number of positions (total dimensionality `d`).
+    pub fn d(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Number of constrained (non-star) positions.
+    pub fn k(&self) -> usize {
+        self.genes.iter().filter(|&&g| g != STAR).count()
+    }
+
+    /// The gene at `pos`: `None` for star, `Some(range)` otherwise.
+    #[inline]
+    pub fn gene(&self, pos: usize) -> Option<u16> {
+        match self.genes[pos] {
+            STAR => None,
+            r => Some(r),
+        }
+    }
+
+    /// Sets the gene at `pos` (use [`STAR`] to un-constrain).
+    pub fn set_gene(&mut self, pos: usize, gene: u16) {
+        self.genes[pos] = gene;
+    }
+
+    /// Raw gene slice (`STAR` sentinel included).
+    pub fn genes(&self) -> &[u16] {
+        &self.genes
+    }
+
+    /// Positions that are stars.
+    pub fn star_positions(&self) -> Vec<usize> {
+        (0..self.d()).filter(|&i| self.genes[i] == STAR).collect()
+    }
+
+    /// Positions that are constrained.
+    pub fn constrained_positions(&self) -> Vec<usize> {
+        (0..self.d()).filter(|&i| self.genes[i] != STAR).collect()
+    }
+
+    /// Whether the projection is feasible for a run seeking `k`-dimensional
+    /// projections.
+    pub fn is_feasible(&self, k: usize) -> bool {
+        self.k() == k
+    }
+
+    /// Converts to the canonical [`Cube`]; `None` if nothing is constrained.
+    pub fn to_cube(&self) -> Option<Cube> {
+        Cube::new(
+            self.genes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| g != STAR)
+                .map(|(i, &g)| (i as u32, g)),
+        )
+    }
+
+    /// Builds the projection covering `cube` in a `d`-dimensional problem.
+    ///
+    /// # Panics
+    /// Panics if the cube references a dimension `>= d`.
+    pub fn from_cube(cube: &Cube, d: usize) -> Self {
+        let mut genes = vec![STAR; d];
+        for (dim, range) in cube.pairs() {
+            assert!((dim as usize) < d, "cube dimension {dim} out of bounds");
+            genes[dim as usize] = range;
+        }
+        Self { genes }
+    }
+
+    /// Whether a discretized record covers this projection: every
+    /// constrained position must match the record's cell (a missing cell —
+    /// any value ≥ the grid's φ, e.g.
+    /// [`hdoutlier_data::discretize::MISSING_CELL`] — never matches, which
+    /// is exactly the paper's missing-data semantics).
+    pub fn covers(&self, cells: &[u16]) -> bool {
+        debug_assert_eq!(cells.len(), self.d());
+        self.genes
+            .iter()
+            .zip(cells)
+            .all(|(&g, &c)| g == STAR || g == c)
+    }
+
+    /// Gene view for De Jong convergence: star → 0, range r → r + 1.
+    pub fn gene_view(&self) -> Vec<u32> {
+        self.genes
+            .iter()
+            .map(|&g| if g == STAR { 0 } else { g as u32 + 1 })
+            .collect()
+    }
+}
+
+impl fmt::Display for Projection {
+    /// The paper's notation: `*` for stars, 1-based range numbers otherwise.
+    /// Positions are separated by nothing when every range fits one digit,
+    /// by `.` otherwise (φ > 9).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let multi_digit = self.genes.iter().any(|&g| g != STAR && g + 1 > 9);
+        for (i, &g) in self.genes.iter().enumerate() {
+            if multi_digit && i > 0 {
+                write!(f, ".")?;
+            }
+            match g {
+                STAR => write!(f, "*")?,
+                r => write!(f, "{}", r + 1)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_notation_example() {
+        // *3*9: dims 1 and 3 constrained to 1-based ranges 3 and 9.
+        let p = Projection::from_genes(vec![STAR, 2, STAR, 8]);
+        assert_eq!(p.to_string(), "*3*9");
+        assert_eq!(p.d(), 4);
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.gene(0), None);
+        assert_eq!(p.gene(1), Some(2));
+    }
+
+    #[test]
+    fn multi_digit_display_uses_separators() {
+        let p = Projection::from_genes(vec![STAR, 9, 10]); // ranges 10, 11
+        assert_eq!(p.to_string(), "*.10.11");
+    }
+
+    #[test]
+    fn random_is_feasible_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = Projection::random(10, 3, 7, &mut rng);
+            assert_eq!(p.d(), 10);
+            assert!(p.is_feasible(3));
+            for pos in p.constrained_positions() {
+                assert!(p.gene(pos).unwrap() < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn random_positions_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            let p = Projection::random(6, 2, 3, &mut rng);
+            for pos in p.constrained_positions() {
+                counts[pos] += 1;
+            }
+        }
+        // Each position expected in 1/3 of projections → ~2000.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1800..2200).contains(&c), "position {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn random_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Projection::random(5, 0, 4, &mut rng);
+        assert_eq!(p.k(), 0);
+        let p = Projection::random(5, 5, 4, &mut rng);
+        assert_eq!(p.k(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dimensionality")]
+    fn random_k_too_large_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        Projection::random(3, 4, 5, &mut rng);
+    }
+
+    #[test]
+    fn cube_round_trip() {
+        let p = Projection::from_genes(vec![STAR, 2, STAR, 8, STAR]);
+        let cube = p.to_cube().unwrap();
+        assert_eq!(cube.dims(), &[1, 3]);
+        assert_eq!(cube.ranges(), &[2, 8]);
+        let back = Projection::from_cube(&cube, 5);
+        assert_eq!(back, p);
+        assert!(Projection::all_star(4).to_cube().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_cube_dimension_overflow_panics() {
+        let cube = Cube::new([(9, 0)]).unwrap();
+        Projection::from_cube(&cube, 5);
+    }
+
+    #[test]
+    fn covers_semantics() {
+        let p = Projection::from_genes(vec![STAR, 2, STAR, 8]);
+        assert!(p.covers(&[0, 2, 5, 8]));
+        assert!(!p.covers(&[0, 3, 5, 8]));
+        // Missing cell never matches a constrained position...
+        assert!(!p.covers(&[0, u16::MAX, 5, 8]));
+        // ...but is fine on a star position.
+        assert!(p.covers(&[u16::MAX, 2, u16::MAX, 8]));
+        // All-star covers anything.
+        assert!(Projection::all_star(4).covers(&[u16::MAX; 4]));
+    }
+
+    #[test]
+    fn gene_view_distinguishes_star_from_range_zero() {
+        let p = Projection::from_genes(vec![STAR, 0, 1]);
+        assert_eq!(p.gene_view(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn star_and_constrained_partition_positions() {
+        let p = Projection::from_genes(vec![STAR, 2, STAR, 8]);
+        assert_eq!(p.star_positions(), vec![0, 2]);
+        assert_eq!(p.constrained_positions(), vec![1, 3]);
+        let mut q = p.clone();
+        q.set_gene(0, 4);
+        q.set_gene(1, STAR);
+        assert_eq!(q.star_positions(), vec![1, 2]);
+        assert_eq!(q.k(), 2);
+    }
+
+    #[test]
+    fn hash_and_eq_for_dedup() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Projection::from_genes(vec![STAR, 1]));
+        assert!(set.contains(&Projection::from_genes(vec![STAR, 1])));
+        assert!(!set.contains(&Projection::from_genes(vec![1, STAR])));
+    }
+}

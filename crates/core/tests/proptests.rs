@@ -1,0 +1,159 @@
+//! Property-based tests for the detector's operators and invariants.
+
+use hdoutlier_core::crossover::{optimized, two_point, two_point_at};
+use hdoutlier_core::fitness::SparsityFitness;
+use hdoutlier_core::mutation::{mutate, MutationConfig};
+use hdoutlier_core::projection::{Projection, STAR};
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::uniform;
+use hdoutlier_index::BitmapCounter;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D: usize = 8;
+const PHI: u32 = 4;
+
+fn projection_strategy(k: usize) -> impl Strategy<Value = Projection> {
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Projection::random(D, k, PHI, &mut rng)
+    })
+}
+
+fn fixture() -> (Discretized, BitmapCounter) {
+    let ds = uniform(400, D, 1234);
+    let disc = Discretized::new(&ds, PHI, DiscretizeStrategy::EquiDepth).unwrap();
+    let counter = BitmapCounter::new(&disc);
+    (disc, counter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_projection_is_feasible(k in 0usize..=D, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Projection::random(D, k, PHI, &mut rng);
+        prop_assert_eq!(p.k(), k);
+        prop_assert_eq!(p.d(), D);
+        for pos in p.constrained_positions() {
+            prop_assert!(p.gene(pos).unwrap() < PHI as u16);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_k(p in projection_strategy(3), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = MutationConfig::symmetric(1.0, PHI);
+        let mut q = p.clone();
+        for _ in 0..5 {
+            mutate(&mut q, &config, &mut rng);
+            prop_assert_eq!(q.k(), 3);
+        }
+    }
+
+    #[test]
+    fn two_point_children_partition_parent_genes(
+        a in projection_strategy(3),
+        b in projection_strategy(3),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(cut_seed);
+        let (c, d) = two_point(&a, &b, &mut rng);
+        for pos in 0..D {
+            // At each position, {c, d} carry exactly {a, b}'s genes.
+            let mut got = [c.gene(pos), d.gene(pos)];
+            let mut want = [a.gene(pos), b.gene(pos)];
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "position {}", pos);
+        }
+    }
+
+    #[test]
+    fn two_point_at_is_an_involution(
+        a in projection_strategy(2),
+        b in projection_strategy(2),
+        lo in 0usize..D - 1,
+        len in 1usize..4,
+    ) {
+        let hi = (lo + len).min(D);
+        let (c, d) = two_point_at(&a, &b, lo, hi);
+        let (a2, b2) = two_point_at(&c, &d, lo, hi);
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn optimized_crossover_feasible_and_parent_material(
+        a in projection_strategy(3),
+        b in projection_strategy(3),
+        seed in any::<u64>(),
+    ) {
+        let (_, counter) = fixture();
+        let fitness = SparsityFitness::new(&counter, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (c, d) = optimized(&a, &b, &fitness, &mut rng);
+        prop_assert!(c.is_feasible(3), "child {} infeasible", c);
+        prop_assert!(d.is_feasible(3), "complement {} infeasible", d);
+        for child in [&c, &d] {
+            for pos in 0..D {
+                let g = child.gene(pos);
+                prop_assert!(g == a.gene(pos) || g == b.gene(pos) || g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_matches_direct_eq1(p in projection_strategy(2)) {
+        let (_, counter) = fixture();
+        let fitness = SparsityFitness::new(&counter, 2);
+        let got = fitness.evaluate(&p);
+        let count = fitness.count(&p).unwrap() as u64;
+        let want = hdoutlier_stats::sparsity_coefficient(count, 400, PHI, 2);
+        prop_assert!((got - want).abs() < 1e-12);
+        // Covered rows really do cover the projection's cells.
+        let disc = fixture().0;
+        for row in fitness.rows(&p) {
+            prop_assert!(p.covers(disc.row(row)));
+        }
+    }
+
+    #[test]
+    fn infeasible_strings_score_infinity(k in 0usize..=D, p_seed in any::<u64>()) {
+        let (_, counter) = fixture();
+        let fitness = SparsityFitness::new(&counter, 3);
+        let mut rng = StdRng::seed_from_u64(p_seed);
+        let p = Projection::random(D, k, PHI, &mut rng);
+        if k == 3 {
+            prop_assert!(fitness.evaluate(&p).is_finite());
+        } else {
+            prop_assert_eq!(fitness.evaluate(&p), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn projection_string_parse_display_round_trip(p in projection_strategy(3)) {
+        // Display for phi <= 9 is one char per position; rebuild from it.
+        let s = p.to_string();
+        let genes: Vec<u16> = s
+            .chars()
+            .map(|c| {
+                if c == '*' {
+                    STAR
+                } else {
+                    c.to_digit(10).unwrap() as u16 - 1
+                }
+            })
+            .collect();
+        prop_assert_eq!(Projection::from_genes(genes), p);
+    }
+
+    #[test]
+    fn cube_round_trip_via_projection(p in projection_strategy(3)) {
+        let cube = p.to_cube().unwrap();
+        prop_assert_eq!(Projection::from_cube(&cube, D), p);
+        prop_assert_eq!(cube.k(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Data cleaning: categorical encoding, constant-column removal,
+//! standardization and missing-value imputation.
+//!
+//! The paper's §3 notes the UCI datasets "were cleaned in order to take care
+//! of categorical and missing attributes"; this module is that step.
+
+use crate::dataset::{DataError, Dataset};
+use std::collections::HashMap;
+
+/// Dense-encodes non-numeric fields of raw string records as categorical
+/// codes (0, 1, 2, … in order of first appearance per column), leaving
+/// numeric fields as-is and missing markers as NaN.
+///
+/// Input is the record matrix from [`crate::csv::parse_records`] *without*
+/// the header row.
+pub fn encode_categoricals(
+    records: &[Vec<String>],
+    missing_markers: &[&str],
+) -> Result<(Dataset, Vec<Vec<String>>), DataError> {
+    if records.is_empty() || records[0].is_empty() {
+        return Err(DataError::Empty);
+    }
+    let width = records[0].len();
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(DataError::Parse(format!(
+                "record {i} has {} fields, expected {width}",
+                r.len()
+            )));
+        }
+    }
+    // Decide per column whether it is numeric: every non-missing field parses.
+    let mut numeric = vec![true; width];
+    for r in records {
+        for (j, f) in r.iter().enumerate() {
+            let t = f.trim();
+            if missing_markers.contains(&t) {
+                continue;
+            }
+            if t.parse::<f64>().is_err() {
+                numeric[j] = false;
+            }
+        }
+    }
+    let mut code_books: Vec<HashMap<String, u32>> = vec![HashMap::new(); width];
+    let mut code_names: Vec<Vec<String>> = vec![Vec::new(); width];
+    let mut rows = Vec::with_capacity(records.len());
+    for r in records {
+        let mut row = Vec::with_capacity(width);
+        for (j, f) in r.iter().enumerate() {
+            let t = f.trim();
+            if missing_markers.contains(&t) {
+                row.push(f64::NAN);
+            } else if numeric[j] {
+                row.push(t.parse::<f64>().expect("checked numeric"));
+            } else {
+                let next = code_books[j].len() as u32;
+                let code = *code_books[j].entry(t.to_string()).or_insert_with(|| {
+                    code_names[j].push(t.to_string());
+                    next
+                });
+                row.push(code as f64);
+            }
+        }
+        rows.push(row);
+    }
+    Ok((Dataset::from_rows(rows)?, code_names))
+}
+
+/// Indices of columns whose non-missing values are all identical (or all
+/// missing) — useless for outlier detection and dropped by [`drop_constant_columns`].
+pub fn constant_columns(dataset: &Dataset) -> Vec<usize> {
+    (0..dataset.n_dims())
+        .filter(|&j| {
+            let mut first: Option<f64> = None;
+            for i in 0..dataset.n_rows() {
+                let v = dataset.value(i, j);
+                if v.is_nan() {
+                    continue;
+                }
+                match first {
+                    None => first = Some(v),
+                    Some(f) if f != v => return false,
+                    Some(_) => {}
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// Returns a dataset without its constant columns. If every column is
+/// constant the original is returned unchanged (dropping all would be
+/// worse than useless).
+pub fn drop_constant_columns(dataset: &Dataset) -> Dataset {
+    let constant = constant_columns(dataset);
+    if constant.is_empty() || constant.len() == dataset.n_dims() {
+        return dataset.clone();
+    }
+    let keep: Vec<usize> = (0..dataset.n_dims())
+        .filter(|j| !constant.contains(j))
+        .collect();
+    dataset
+        .select_columns(&keep)
+        .expect("keep is non-empty and in bounds")
+}
+
+/// Z-standardizes every column in place (missing entries stay missing).
+/// Columns with zero variance are left untouched.
+pub fn standardize(dataset: &Dataset) -> Dataset {
+    let mut rows: Vec<Vec<f64>> = dataset.rows().map(<[f64]>::to_vec).collect();
+    for j in 0..dataset.n_dims() {
+        let col = dataset.column(j);
+        let acc = hdoutlier_stats::summary::Accumulator::from_iter(col.iter().copied());
+        let (Some(mean), Some(sd)) = (acc.mean(), acc.sd()) else {
+            continue;
+        };
+        if sd == 0.0 {
+            continue;
+        }
+        for row in rows.iter_mut() {
+            if !row[j].is_nan() {
+                row[j] = (row[j] - mean) / sd;
+            }
+        }
+    }
+    let mut out = Dataset::from_rows(rows).expect("same shape as input");
+    out.set_names(dataset.names().to_vec()).expect("same dims");
+    if let Some(labels) = dataset.labels() {
+        out.set_labels(labels.to_vec()).expect("same rows");
+    }
+    out
+}
+
+/// Replaces missing entries of each column with that column's mean.
+///
+/// The detector itself does **not** need this — missing entries simply never
+/// cover any cube — but the distance-based baselines (Knorr–Ng, kNN, LOF)
+/// require complete vectors, so their evaluation path imputes first.
+pub fn impute_mean(dataset: &Dataset) -> Dataset {
+    let mut rows: Vec<Vec<f64>> = dataset.rows().map(<[f64]>::to_vec).collect();
+    for j in 0..dataset.n_dims() {
+        let col = dataset.column(j);
+        let acc = hdoutlier_stats::summary::Accumulator::from_iter(col.iter().copied());
+        let fill = acc.mean().unwrap_or(0.0);
+        for row in rows.iter_mut() {
+            if row[j].is_nan() {
+                row[j] = fill;
+            }
+        }
+    }
+    let mut out = Dataset::from_rows(rows).expect("same shape as input");
+    out.set_names(dataset.names().to_vec()).expect("same dims");
+    if let Some(labels) = dataset.labels() {
+        out.set_labels(labels.to_vec()).expect("same rows");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(rows: &[&[&str]]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_mixed_columns() {
+        let records = recs(&[
+            &["1.5", "red", "10"],
+            &["2.5", "blue", "?"],
+            &["3.5", "red", "30"],
+        ]);
+        let (ds, codes) = encode_categoricals(&records, &["?"]).unwrap();
+        assert_eq!(ds.value(0, 0), 1.5);
+        assert_eq!(ds.value(0, 1), 0.0); // red
+        assert_eq!(ds.value(1, 1), 1.0); // blue
+        assert_eq!(ds.value(2, 1), 0.0); // red again
+        assert!(ds.is_missing(1, 2));
+        assert_eq!(codes[1], vec!["red".to_string(), "blue".to_string()]);
+        assert!(codes[0].is_empty()); // numeric column has no code book
+    }
+
+    #[test]
+    fn numeric_column_with_missing_stays_numeric() {
+        let records = recs(&[&["1"], &["?"], &["3"]]);
+        let (ds, codes) = encode_categoricals(&records, &["?"]).unwrap();
+        assert_eq!(ds.value(0, 0), 1.0);
+        assert!(ds.is_missing(1, 0));
+        assert!(codes[0].is_empty());
+    }
+
+    #[test]
+    fn one_bad_field_makes_column_categorical() {
+        let records = recs(&[&["1"], &["oops"], &["3"]]);
+        let (ds, codes) = encode_categoricals(&records, &[]).unwrap();
+        // Column is categorical: codes by first appearance.
+        assert_eq!(ds.value(0, 0), 0.0);
+        assert_eq!(ds.value(1, 0), 1.0);
+        assert_eq!(ds.value(2, 0), 2.0);
+        assert_eq!(codes[0].len(), 3);
+    }
+
+    #[test]
+    fn encode_rejects_bad_shapes() {
+        assert!(encode_categoricals(&[], &[]).is_err());
+        let ragged = recs(&[&["1", "2"], &["3"]]);
+        assert!(encode_categoricals(&ragged, &[]).is_err());
+    }
+
+    #[test]
+    fn constant_column_detection() {
+        let ds = Dataset::from_rows(vec![
+            vec![1.0, 5.0, f64::NAN, 2.0],
+            vec![1.0, 5.0, f64::NAN, 3.0],
+            vec![1.0, f64::NAN, f64::NAN, 4.0],
+        ])
+        .unwrap();
+        // col0 constant, col1 constant-with-missing, col2 all-missing, col3 varies.
+        assert_eq!(constant_columns(&ds), vec![0, 1, 2]);
+        let cleaned = drop_constant_columns(&ds);
+        assert_eq!(cleaned.n_dims(), 1);
+        assert_eq!(cleaned.value(2, 0), 4.0);
+    }
+
+    #[test]
+    fn drop_all_constant_keeps_original() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![1.0]]).unwrap();
+        let cleaned = drop_constant_columns(&ds);
+        assert_eq!(cleaned.n_dims(), 1);
+    }
+
+    #[test]
+    fn standardize_moments() {
+        let mut ds = Dataset::from_rows(vec![
+            vec![1.0, 100.0],
+            vec![2.0, 100.0],
+            vec![3.0, 100.0],
+            vec![4.0, 100.0],
+        ])
+        .unwrap();
+        ds.set_labels(vec![0, 0, 1, 1]).unwrap();
+        let z = standardize(&ds);
+        let col = z.column(0);
+        let acc = hdoutlier_stats::summary::Accumulator::from_iter(col.iter().copied());
+        assert!(acc.mean().unwrap().abs() < 1e-12);
+        assert!((acc.sd().unwrap() - 1.0).abs() < 1e-12);
+        // Zero-variance column untouched.
+        assert_eq!(z.value(0, 1), 100.0);
+        // Labels preserved.
+        assert_eq!(z.labels(), Some(&[0, 0, 1, 1][..]));
+    }
+
+    #[test]
+    fn standardize_preserves_missing() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![f64::NAN], vec![3.0]]).unwrap();
+        let z = standardize(&ds);
+        assert!(z.is_missing(1, 0));
+    }
+
+    #[test]
+    fn impute_mean_fills_missing() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![f64::NAN], vec![3.0]]).unwrap();
+        let filled = impute_mean(&ds);
+        assert_eq!(filled.value(1, 0), 2.0);
+        assert_eq!(filled.missing_count(), 0);
+        // All-missing column imputes to 0.
+        let ds = Dataset::from_rows(vec![vec![f64::NAN], vec![f64::NAN]]).unwrap();
+        let filled = impute_mean(&ds);
+        assert_eq!(filled.value(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Dependency-free CSV reading and writing.
+//!
+//! Supports the subset of RFC 4180 the UCI-style pipelines need: quoted
+//! fields with embedded commas/quotes/newlines, a header row, configurable
+//! missing-value markers (`?` is the UCI convention), and extraction of a
+//! label column. Non-numeric fields can be auto-encoded as categorical codes
+//! through [`crate::clean::encode_categoricals`]; the reader itself maps
+//! unparsable fields to missing so callers choose their policy.
+
+use crate::dataset::{DataError, Dataset};
+use std::path::Path;
+
+/// Options controlling CSV interpretation.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Whether the first record is a header of column names.
+    pub has_header: bool,
+    /// Field separator.
+    pub delimiter: char,
+    /// Strings treated as missing values (compared after trimming).
+    pub missing_markers: Vec<String>,
+    /// Name (if `has_header`) or index of a column to strip into class
+    /// labels. Label values are dense-encoded in order of first appearance.
+    pub label_column: Option<ColumnRef>,
+}
+
+/// Reference to a column by header name or position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnRef {
+    /// By header name (requires `has_header`).
+    Name(String),
+    /// By zero-based position.
+    Index(usize),
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            has_header: true,
+            delimiter: ',',
+            missing_markers: vec!["?".into(), "".into(), "NA".into(), "NaN".into()],
+            label_column: None,
+        }
+    }
+}
+
+/// Parses CSV text into a [`Dataset`].
+///
+/// Fields matching a missing marker become NaN. Fields that fail to parse as
+/// numbers also become NaN — run [`crate::clean::encode_categoricals`] on the
+/// raw records (via [`parse_records`]) if categorical columns should be
+/// dense-coded instead of dropped.
+pub fn read_str(text: &str, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let records = parse_records(text, options.delimiter)?;
+    records_to_dataset(records, options)
+}
+
+/// Reads a CSV file into a [`Dataset`].
+pub fn read_path<P: AsRef<Path>>(path: P, options: &CsvOptions) -> Result<Dataset, DataError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| DataError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+    read_str(&text, options)
+}
+
+/// Writes a dataset as CSV (header + rows; missing values as `NaN`, which
+/// the default [`CsvOptions::missing_markers`] read back as missing — an
+/// empty field would be ambiguous with a blank line for 1-column data).
+pub fn write_string(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str(&join_escaped(dataset.names().iter().map(String::as_str)));
+    out.push('\n');
+    for row in dataset.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| {
+                if v.is_nan() {
+                    "NaN".to_string()
+                } else {
+                    format_number(*v)
+                }
+            })
+            .collect();
+        out.push_str(&join_escaped(fields.iter().map(String::as_str)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset to a file as CSV.
+pub fn write_path<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), DataError> {
+    std::fs::write(path.as_ref(), write_string(dataset))
+        .map_err(|e| DataError::Parse(format!("{}: {e}", path.as_ref().display())))
+}
+
+fn format_number(v: f64) -> String {
+    // Shortest representation that round-trips.
+    let mut s = format!("{v}");
+    if s.ends_with(".0") {
+        s.truncate(s.len() - 2);
+    }
+    s
+}
+
+fn join_escaped<'a, I: Iterator<Item = &'a str>>(fields: I) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out
+}
+
+/// Splits CSV text into records of string fields, honoring quotes.
+///
+/// Exposed so cleaning passes (categorical encoding) can run before numeric
+/// conversion.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, DataError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    // A record containing a quoted field is never "blank", even if the
+    // field is empty: `""` is one record with one empty field, `\n` is a
+    // blank line to skip.
+    let mut record_quoted = false;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            if field.is_empty() {
+                in_quotes = true;
+                record_quoted = true;
+            } else {
+                return Err(DataError::Parse(format!(
+                    "unexpected quote inside unquoted field at record {}",
+                    records.len() + 1
+                )));
+            }
+        } else if c == delimiter {
+            record.push(std::mem::take(&mut field));
+        } else if c == '\n' || c == '\r' {
+            if c == '\r' && chars.peek() == Some(&'\n') {
+                chars.next();
+            }
+            record.push(std::mem::take(&mut field));
+            let blank = record.len() == 1 && record[0].is_empty() && !record_quoted;
+            if blank {
+                record.clear();
+            } else {
+                records.push(std::mem::take(&mut record));
+            }
+            record_quoted = false;
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Parse("unterminated quoted field".into()));
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty() || record_quoted) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn records_to_dataset(
+    mut records: Vec<Vec<String>>,
+    options: &CsvOptions,
+) -> Result<Dataset, DataError> {
+    if records.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let header: Option<Vec<String>> = if options.has_header {
+        Some(records.remove(0))
+    } else {
+        None
+    };
+    if records.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let width = records[0].len();
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(DataError::Parse(format!(
+                "record {} has {} fields, expected {width}",
+                i + 1,
+                r.len()
+            )));
+        }
+    }
+
+    let label_idx: Option<usize> = match &options.label_column {
+        None => None,
+        Some(ColumnRef::Index(i)) => {
+            if *i >= width {
+                return Err(DataError::ColumnIndexOutOfBounds {
+                    index: *i,
+                    n_dims: width,
+                });
+            }
+            Some(*i)
+        }
+        Some(ColumnRef::Name(name)) => {
+            let header = header
+                .as_ref()
+                .ok_or_else(|| DataError::Parse("label by name requires a header".into()))?;
+            Some(
+                header
+                    .iter()
+                    .position(|h| h.trim() == name)
+                    .ok_or_else(|| DataError::NoSuchColumn(name.clone()))?,
+            )
+        }
+    };
+
+    let is_missing = |s: &str| -> bool { options.missing_markers.iter().any(|m| m == s.trim()) };
+
+    let mut labels: Vec<u32> = Vec::new();
+    let mut label_codes: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(records.len());
+    for record in &records {
+        let mut row = Vec::with_capacity(width - usize::from(label_idx.is_some()));
+        for (j, fieldstr) in record.iter().enumerate() {
+            if Some(j) == label_idx {
+                let key = fieldstr.trim();
+                let code = match label_codes.iter().position(|c| c == key) {
+                    Some(c) => c as u32,
+                    None => {
+                        label_codes.push(key.to_string());
+                        (label_codes.len() - 1) as u32
+                    }
+                };
+                labels.push(code);
+                continue;
+            }
+            let t = fieldstr.trim();
+            if is_missing(t) {
+                row.push(f64::NAN);
+            } else {
+                row.push(t.parse::<f64>().unwrap_or(f64::NAN));
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut ds = Dataset::from_rows(rows)?;
+    if let Some(header) = header {
+        let names: Vec<String> = header
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| Some(*j) != label_idx)
+            .map(|(_, h)| h.trim().to_string())
+            .collect();
+        ds.set_names(names)?;
+    }
+    if label_idx.is_some() {
+        ds.set_labels(labels)?;
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_round_trip() {
+        let text = "a,b\n1,2\n3,4.5\n";
+        let ds = read_str(text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.n_dims(), 2);
+        assert_eq!(ds.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.value(1, 1), 4.5);
+        let back = write_string(&ds);
+        let ds2 = read_str(&back, &CsvOptions::default()).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn missing_markers_become_nan() {
+        let text = "a,b\n?,2\n3,\n5,NA\n";
+        let ds = read_str(text, &CsvOptions::default()).unwrap();
+        assert!(ds.is_missing(0, 0));
+        assert!(ds.is_missing(1, 1));
+        assert!(ds.is_missing(2, 1));
+        assert_eq!(ds.missing_count(), 3);
+    }
+
+    #[test]
+    fn unparsable_fields_become_nan() {
+        let text = "a\nhello\n3\n";
+        let ds = read_str(text, &CsvOptions::default()).unwrap();
+        assert!(ds.is_missing(0, 0));
+        assert_eq!(ds.value(1, 0), 3.0);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let recs = parse_records("\"a,b\",\"say \"\"hi\"\"\"\n1,2\n", ',').unwrap();
+        assert_eq!(recs[0], vec!["a,b".to_string(), "say \"hi\"".to_string()]);
+        assert_eq!(recs[1], vec!["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn quoted_field_with_newline() {
+        let recs = parse_records("\"line1\nline2\",x\n", ',').unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0][0], "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let recs = parse_records("a,b\r\n1,2", ',').unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let recs = parse_records("a\n\n1\n\n", ',').unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn lone_quoted_empty_field_is_a_record_not_a_blank_line() {
+        // Regression (found by fuzzing): `""` is one record with one empty
+        // field; a bare newline is a blank line to skip.
+        let recs = parse_records("\"\"", ',').unwrap();
+        assert_eq!(recs, vec![vec![String::new()]]);
+        let recs = parse_records("\"\"\nx\n", ',').unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], vec![String::new()]);
+    }
+
+    #[test]
+    fn label_column_by_name() {
+        let text = "f1,class,f2\n1,yes,10\n2,no,20\n3,yes,30\n";
+        let options = CsvOptions {
+            label_column: Some(ColumnRef::Name("class".into())),
+            ..CsvOptions::default()
+        };
+        let ds = read_str(text, &options).unwrap();
+        assert_eq!(ds.n_dims(), 2);
+        assert_eq!(ds.names(), &["f1".to_string(), "f2".to_string()]);
+        assert_eq!(ds.labels(), Some(&[0, 1, 0][..]));
+        assert_eq!(ds.value(2, 1), 30.0);
+    }
+
+    #[test]
+    fn label_column_by_index_without_header() {
+        let text = "1,A\n2,B\n3,A\n";
+        let options = CsvOptions {
+            has_header: false,
+            label_column: Some(ColumnRef::Index(1)),
+            ..CsvOptions::default()
+        };
+        let ds = read_str(text, &options).unwrap();
+        assert_eq!(ds.n_dims(), 1);
+        assert_eq!(ds.labels(), Some(&[0, 1, 0][..]));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(read_str("", &CsvOptions::default()).is_err());
+        assert!(read_str("a,b\n", &CsvOptions::default()).is_err()); // header only
+        assert!(read_str("a,b\n1\n", &CsvOptions::default()).is_err()); // ragged
+        assert!(parse_records("\"unterminated", ',').is_err());
+        assert!(parse_records("ab\"cd\n", ',').is_err()); // quote mid-field
+        let options = CsvOptions {
+            label_column: Some(ColumnRef::Name("nope".into())),
+            ..CsvOptions::default()
+        };
+        assert!(read_str("a,b\n1,2\n", &options).is_err());
+        let options = CsvOptions {
+            label_column: Some(ColumnRef::Index(9)),
+            ..CsvOptions::default()
+        };
+        assert!(read_str("a,b\n1,2\n", &options).is_err());
+        let options = CsvOptions {
+            has_header: false,
+            label_column: Some(ColumnRef::Name("x".into())),
+            ..CsvOptions::default()
+        };
+        assert!(read_str("1,2\n", &options).is_err());
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let options = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let ds = read_str("a;b\n1;2\n", &options).unwrap();
+        assert_eq!(ds.value(0, 1), 2.0);
+    }
+
+    #[test]
+    fn writer_escapes_special_names() {
+        let mut ds = Dataset::from_rows(vec![vec![1.0, f64::NAN]]).unwrap();
+        ds.set_names(vec!["plain", "with,comma"]).unwrap();
+        let s = write_string(&ds);
+        assert!(s.starts_with("plain,\"with,comma\"\n"));
+        assert!(s.contains("1,NaN\n")); // NaN written explicitly
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("hdoutlier-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let ds = Dataset::from_rows(vec![vec![1.5, 2.5], vec![3.0, f64::NAN]]).unwrap();
+        write_path(&ds, &path).unwrap();
+        let back = read_path(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.value(0, 1), 2.5);
+        assert!(back.is_missing(1, 1));
+        assert!(read_path(dir.join("nonexistent.csv"), &CsvOptions::default()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

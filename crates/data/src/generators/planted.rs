@@ -1,0 +1,349 @@
+//! Planted subspace outliers with ground truth.
+//!
+//! The workload that operationalizes the paper's Figure 1: a correlated bulk
+//! in which certain records are replaced by **contrarian combinations** —
+//! each planted outlier picks one factor group and sets one attribute of the
+//! group to a low marginal quantile and another to a high one. Because the
+//! group is strongly positively correlated, that combination of grid ranges
+//! is nearly empty in the bulk; because each value is individually at an
+//! unremarkable quantile (default 12 % / 88 %), the outlier is invisible to
+//! single-attribute screens, and because only 2 of `d` attributes are
+//! touched, full-dimensional distance measures barely notice it.
+
+use super::correlated::standard_normal;
+use crate::dataset::Dataset;
+use rand::Rng;
+
+/// Configuration for [`planted_outliers`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of records, including the outliers.
+    pub n_rows: usize,
+    /// Number of attributes.
+    pub n_dims: usize,
+    /// Attributes per correlated factor group (must be >= 2 so a contrarian
+    /// pair exists inside a group).
+    pub group_size: usize,
+    /// Within-group loading (pairwise correlation is `strength²`).
+    pub strength: f64,
+    /// Number of planted outlier records.
+    pub n_outliers: usize,
+    /// Marginal quantile for the "low" side of a contrarian pair; the high
+    /// side uses `1 − low_quantile`. Keep this away from the extremes so the
+    /// outlier stays marginally unremarkable.
+    pub low_quantile: f64,
+    /// If set, only the first `strong_groups` factor groups use `strength`
+    /// (and signatures are planted only there); the remaining groups use
+    /// `background_strength`. `None` keeps every group at `strength`.
+    ///
+    /// Strong correlation is what empties a pair's contrarian corner — but
+    /// it also creates *organic* near-empty shoulder cells that compete with
+    /// the planted cubes. Limiting the strongly structured groups keeps the
+    /// sparse-cube landscape dominated by the ground truth, useful for
+    /// demos and precision/recall evaluation.
+    pub strong_groups: Option<usize>,
+    /// Loading for the non-strong groups when `strong_groups` is set.
+    pub background_strength: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 1000,
+            n_dims: 20,
+            group_size: 2,
+            strength: 0.95,
+            n_outliers: 10,
+            low_quantile: 0.12,
+            strong_groups: None,
+            background_strength: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated dataset together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedOutliers {
+    /// The data; outlier rows are scattered uniformly among the bulk.
+    pub dataset: Dataset,
+    /// Row indices of planted outliers, ascending.
+    pub outlier_rows: Vec<usize>,
+    /// For each planted outlier (aligned with `outlier_rows`): the pair of
+    /// dimensions carrying the contrarian signature `(low_dim, high_dim)`.
+    pub signatures: Vec<(usize, usize)>,
+}
+
+impl PlantedOutliers {
+    /// Whether `row` is a planted outlier.
+    pub fn is_outlier(&self, row: usize) -> bool {
+        self.outlier_rows.binary_search(&row).is_ok()
+    }
+
+    /// Precision of a reported outlier set against the ground truth:
+    /// `|reported ∩ planted| / |reported|`. Returns `None` for an empty report.
+    pub fn precision(&self, reported: &[usize]) -> Option<f64> {
+        if reported.is_empty() {
+            return None;
+        }
+        let hits = reported.iter().filter(|&&r| self.is_outlier(r)).count();
+        Some(hits as f64 / reported.len() as f64)
+    }
+
+    /// Recall of a reported outlier set: `|reported ∩ planted| / |planted|`.
+    /// Returns `None` if nothing was planted.
+    pub fn recall(&self, reported: &[usize]) -> Option<f64> {
+        if self.outlier_rows.is_empty() {
+            return None;
+        }
+        let hits = reported.iter().filter(|&&r| self.is_outlier(r)).count();
+        Some(hits as f64 / self.outlier_rows.len() as f64)
+    }
+}
+
+/// Generates a correlated bulk with `n_outliers` contrarian records and full
+/// ground truth. See the module docs for the construction.
+pub fn planted_outliers(config: &PlantedConfig) -> PlantedOutliers {
+    assert!(config.group_size >= 2, "group_size must be >= 2");
+    assert!(
+        config.n_outliers <= config.n_rows,
+        "cannot plant more outliers than rows"
+    );
+    assert!(
+        (0.0..0.5).contains(&config.low_quantile),
+        "low_quantile must be in [0, 0.5)"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.strength),
+        "strength must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.background_strength),
+        "background_strength must be in [0, 1]"
+    );
+    let mut rng = super::rng(config.seed);
+    let n_groups = config.n_dims / config.group_size; // full groups only
+    assert!(n_groups >= 1, "need at least one full factor group");
+    let signature_groups = match config.strong_groups {
+        Some(s) => {
+            assert!(
+                s >= 1 && s <= n_groups,
+                "strong_groups must be in 1..={n_groups}"
+            );
+            s
+        }
+        None => n_groups,
+    };
+    let strength_of = |g: usize| {
+        if g < signature_groups {
+            config.strength
+        } else {
+            config.background_strength
+        }
+    };
+
+    // Choose which rows are outliers: a uniform sample without replacement.
+    let mut outlier_rows = sample_without_replacement(&mut rng, config.n_rows, config.n_outliers);
+    outlier_rows.sort_unstable();
+
+    // Marginals are N(0,1); convert the target quantiles to z-values.
+    let z_low = hdoutlier_stats::normal::standard_quantile(config.low_quantile);
+    let z_high = -z_low;
+
+    let mut values = Vec::with_capacity(config.n_rows * config.n_dims);
+    let mut factors = vec![0.0f64; config.n_dims.div_ceil(config.group_size)];
+    let mut signatures = Vec::with_capacity(config.n_outliers);
+    let mut next_outlier = 0usize;
+    for row in 0..config.n_rows {
+        for f in factors.iter_mut() {
+            *f = standard_normal(&mut rng);
+        }
+        let start = values.len();
+        for j in 0..config.n_dims {
+            let g = j / config.group_size;
+            let s = strength_of(g);
+            let eps = standard_normal(&mut rng);
+            values.push(s * factors[g] + (1.0 - s * s).sqrt() * eps);
+        }
+        if next_outlier < outlier_rows.len() && outlier_rows[next_outlier] == row {
+            // Overwrite one within-group pair with the contrarian combo.
+            let g = rng.gen_range(0..signature_groups);
+            let base = g * config.group_size;
+            let lo_off = rng.gen_range(0..config.group_size);
+            let hi_off = loop {
+                let o = rng.gen_range(0..config.group_size);
+                if o != lo_off {
+                    break o;
+                }
+            };
+            let (low_dim, high_dim) = (base + lo_off, base + hi_off);
+            values[start + low_dim] = z_low + 0.02 * standard_normal(&mut rng);
+            values[start + high_dim] = z_high + 0.02 * standard_normal(&mut rng);
+            signatures.push((low_dim, high_dim));
+            next_outlier += 1;
+        }
+    }
+
+    let dataset = Dataset::new(values, config.n_rows, config.n_dims).expect("shape consistent");
+    PlantedOutliers {
+        dataset,
+        outlier_rows,
+        signatures,
+    }
+}
+
+/// Uniform sample of `k` distinct values from `0..n` (Floyd's algorithm).
+fn sample_without_replacement<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::correlated::pearson;
+
+    #[test]
+    fn ground_truth_is_consistent() {
+        let p = planted_outliers(&PlantedConfig::default());
+        assert_eq!(p.outlier_rows.len(), 10);
+        assert_eq!(p.signatures.len(), 10);
+        assert_eq!(p.dataset.n_rows(), 1000);
+        assert_eq!(p.dataset.n_dims(), 20);
+        // Rows are sorted, unique, and in bounds.
+        for w in p.outlier_rows.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*p.outlier_rows.last().unwrap() < 1000);
+        // Signature dims are within one group and distinct.
+        for &(lo, hi) in &p.signatures {
+            assert_ne!(lo, hi);
+            assert_eq!(lo / 2, hi / 2, "pair ({lo},{hi}) not within a group");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = planted_outliers(&PlantedConfig::default());
+        let b = planted_outliers(&PlantedConfig::default());
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.outlier_rows, b.outlier_rows);
+    }
+
+    #[test]
+    fn outliers_are_marginally_unremarkable() {
+        let config = PlantedConfig {
+            n_rows: 5000,
+            n_outliers: 20,
+            ..PlantedConfig::default()
+        };
+        let p = planted_outliers(&config);
+        for (&row, &(lo, hi)) in p.outlier_rows.iter().zip(&p.signatures) {
+            // The planted values sit near the 12 % / 88 % quantiles of a
+            // standard normal: roughly ±1.17, far from the ±3 tails.
+            let vl = p.dataset.value(row, lo);
+            let vh = p.dataset.value(row, hi);
+            assert!(vl.abs() < 2.0, "low value {vl} too extreme");
+            assert!(vh.abs() < 2.0, "high value {vh} too extreme");
+            assert!(vl < 0.0 && vh > 0.0);
+        }
+    }
+
+    #[test]
+    fn outliers_are_jointly_contrarian() {
+        // In the bulk, the signature pair is strongly positively correlated;
+        // planted rows have (low, high) — a combination the bulk essentially
+        // never produces.
+        let config = PlantedConfig {
+            n_rows: 5000,
+            n_outliers: 10,
+            strength: 0.95,
+            ..PlantedConfig::default()
+        };
+        let p = planted_outliers(&config);
+        let (lo, hi) = p.signatures[0];
+        let col_lo = p.dataset.column(lo);
+        let col_hi = p.dataset.column(hi);
+        // Correlation including outliers still strongly positive.
+        assert!(pearson(&col_lo, &col_hi) > 0.8);
+        // Count bulk rows with a similarly contrarian combination.
+        let row0 = p.outlier_rows[0];
+        let (vl, vh) = (p.dataset.value(row0, lo), p.dataset.value(row0, hi));
+        let contrarian = (0..p.dataset.n_rows())
+            .filter(|&r| !p.is_outlier(r))
+            .filter(|&r| p.dataset.value(r, lo) <= vl && p.dataset.value(r, hi) >= vh)
+            .count();
+        assert!(
+            contrarian <= 2,
+            "bulk produced {contrarian} equally-contrarian rows"
+        );
+    }
+
+    #[test]
+    fn precision_recall_helpers() {
+        let p = planted_outliers(&PlantedConfig {
+            n_rows: 100,
+            n_outliers: 4,
+            ..PlantedConfig::default()
+        });
+        let all = p.outlier_rows.clone();
+        assert_eq!(p.precision(&all), Some(1.0));
+        assert_eq!(p.recall(&all), Some(1.0));
+        assert_eq!(p.precision(&[]), None);
+        let half = &all[..2];
+        assert_eq!(p.recall(half), Some(0.5));
+        let none_planted = planted_outliers(&PlantedConfig {
+            n_rows: 50,
+            n_outliers: 0,
+            ..PlantedConfig::default()
+        });
+        assert_eq!(none_planted.recall(&[1, 2]), None);
+        assert_eq!(none_planted.precision(&[1, 2]), Some(0.0));
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct_and_in_range() {
+        let mut rng = crate::generators::rng(9);
+        for _ in 0..20 {
+            let s = sample_without_replacement(&mut rng, 30, 10);
+            assert_eq!(s.len(), 10);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(s.iter().all(|&x| x < 30));
+        }
+        // Edge: k == n yields a permutation of 0..n.
+        let mut s = sample_without_replacement(&mut rng, 5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        assert!(sample_without_replacement(&mut rng, 5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "group_size")]
+    fn group_size_one_rejected() {
+        planted_outliers(&PlantedConfig {
+            group_size: 1,
+            ..PlantedConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "more outliers")]
+    fn too_many_outliers_rejected() {
+        planted_outliers(&PlantedConfig {
+            n_rows: 5,
+            n_outliers: 6,
+            ..PlantedConfig::default()
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Seeded dataset shuffling and splitting — evaluation plumbing for
+//! experiments that train on one portion of the data and measure on another
+//! (e.g. the pre-screening study), kept deterministic like everything else
+//! in the workspace.
+
+use crate::dataset::{DataError, Dataset};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A seeded random permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    order
+}
+
+/// Returns the dataset's rows in a seeded random order (labels follow).
+pub fn shuffle(dataset: &Dataset, seed: u64) -> Dataset {
+    let order = permutation(dataset.n_rows(), seed);
+    dataset
+        .select_rows(&order)
+        .expect("permutation indices are in bounds")
+}
+
+/// Splits into `(train, test)` after a seeded shuffle; `train_fraction` of
+/// the rows (rounded down, at least 1) go to the training set.
+///
+/// # Errors
+/// [`DataError::Empty`] if either side would be empty (fewer than 2 rows,
+/// or a fraction at the extremes).
+pub fn shuffle_split(
+    dataset: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(DataError::Parse(format!(
+            "train_fraction must be in [0, 1], got {train_fraction}"
+        )));
+    }
+    let n = dataset.n_rows();
+    let n_train = ((n as f64 * train_fraction) as usize).max(1);
+    if n_train >= n {
+        return Err(DataError::Empty);
+    }
+    let order = permutation(n, seed);
+    let train = dataset.select_rows(&order[..n_train])?;
+    let test = dataset.select_rows(&order[n_train..])?;
+    Ok((train, test))
+}
+
+/// Seeded k-fold split: returns `k` `(train, test)` pairs whose test sides
+/// partition the shuffled rows.
+///
+/// # Errors
+/// [`DataError::Parse`] for `k < 2` or `k > n`.
+pub fn k_fold(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<(Dataset, Dataset)>, DataError> {
+    let n = dataset.n_rows();
+    if k < 2 || k > n {
+        return Err(DataError::Parse(format!("k must be in 2..={n}, got {k}")));
+    }
+    let order = permutation(n, seed);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        // Fold boundaries distribute the remainder over the first folds.
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test_rows = &order[lo..hi];
+        let train_rows: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        folds.push((
+            dataset.select_rows(&train_rows)?,
+            dataset.select_rows(test_rows)?,
+        ));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    fn labeled(n: usize) -> Dataset {
+        let mut ds = uniform(n, 2, 3);
+        ds.set_labels((0..n as u32).collect()).unwrap();
+        ds
+    }
+
+    #[test]
+    fn permutation_is_a_permutation_and_seeded() {
+        let a = permutation(50, 1);
+        let b = permutation(50, 1);
+        let c = permutation(50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_preserves_row_content() {
+        let ds = labeled(30);
+        let shuffled = shuffle(&ds, 9);
+        assert_eq!(shuffled.n_rows(), 30);
+        // Labels identify original rows; each must appear exactly once with
+        // its own values.
+        let labels = shuffled.labels().unwrap();
+        let mut seen: Vec<u32> = labels.to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+        for (i, &label) in labels.iter().enumerate() {
+            assert_eq!(shuffled.row(i), ds.row(label as usize));
+        }
+    }
+
+    #[test]
+    fn shuffle_split_partitions() {
+        let ds = labeled(100);
+        let (train, test) = shuffle_split(&ds, 0.7, 4).unwrap();
+        assert_eq!(train.n_rows(), 70);
+        assert_eq!(test.n_rows(), 30);
+        let mut all: Vec<u32> = train
+            .labels()
+            .unwrap()
+            .iter()
+            .chain(test.labels().unwrap())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_split_edge_cases() {
+        let ds = labeled(10);
+        assert!(shuffle_split(&ds, 1.5, 1).is_err());
+        assert!(shuffle_split(&ds, 1.0, 1).is_err()); // empty test side
+        let (train, test) = shuffle_split(&ds, 0.0, 1).unwrap(); // min 1 train row
+        assert_eq!(train.n_rows(), 1);
+        assert_eq!(test.n_rows(), 9);
+    }
+
+    #[test]
+    fn k_fold_test_sides_partition() {
+        let ds = labeled(23); // non-divisible on purpose
+        let folds = k_fold(&ds, 4, 8).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut all: Vec<u32> = Vec::new();
+        for (train, test) in &folds {
+            assert_eq!(train.n_rows() + test.n_rows(), 23);
+            all.extend(test.labels().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.n_rows()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn k_fold_validation() {
+        let ds = labeled(5);
+        assert!(k_fold(&ds, 1, 0).is_err());
+        assert!(k_fold(&ds, 6, 0).is_err());
+        assert!(k_fold(&ds, 5, 0).is_ok()); // leave-one-out
+    }
+}

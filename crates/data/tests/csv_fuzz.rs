@@ -1,0 +1,81 @@
+//! Robustness tests: the CSV parser must never panic and must uphold basic
+//! invariants on arbitrary byte soup and on adversarially quoted inputs.
+
+use hdoutlier_data::csv::{parse_records, read_str, write_string, CsvOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,300}") {
+        // Any outcome is fine; panicking is not.
+        let _ = parse_records(&text, ',');
+        let _ = read_str(&text, &CsvOptions::default());
+    }
+
+    #[test]
+    fn parser_never_panics_on_quote_heavy_input(
+        parts in proptest::collection::vec("[\",\\n\\ra-z]{0,8}", 0..20),
+    ) {
+        let text = parts.concat();
+        let _ = parse_records(&text, ',');
+    }
+
+    #[test]
+    fn well_formed_unquoted_input_always_parses(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9._-]{1,6}", 3),
+            1..20,
+        ),
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|r| r.join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let records = parse_records(&text, ',').unwrap();
+        prop_assert_eq!(records.len(), rows.len());
+        for (got, want) in records.iter().zip(&rows) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn quoted_fields_round_trip(
+        fields in proptest::collection::vec(".{0,12}", 1..6),
+    ) {
+        // Quote every field manually (escaping quotes), parse back.
+        let line: String = fields
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+            .collect::<Vec<_>>()
+            .join(",");
+        let records = parse_records(&line, ',').unwrap();
+        // Fields containing \r\n or \r are normalized by the reader's
+        // newline handling inside quotes? No: quoted content is verbatim.
+        prop_assert_eq!(records.len(), 1);
+        prop_assert_eq!(&records[0], &fields);
+    }
+
+    #[test]
+    fn writer_output_always_reparses(
+        values in proptest::collection::vec(
+            prop_oneof![4 => (-1e9f64..1e9).prop_map(Some), 1 => Just(None)],
+            1..60,
+        ),
+        n_dims in 1usize..6,
+    ) {
+        let n_rows = values.len() / n_dims;
+        prop_assume!(n_rows >= 1);
+        let buf: Vec<f64> = values[..n_rows * n_dims]
+            .iter()
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect();
+        let ds = hdoutlier_data::Dataset::new(buf, n_rows, n_dims).unwrap();
+        let text = write_string(&ds);
+        let back = read_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), n_rows);
+        prop_assert_eq!(back.n_dims(), n_dims);
+    }
+}

@@ -1,0 +1,585 @@
+//! The generation loop of paper Fig. 3.
+//!
+//! ```text
+//! S = initial seed population of p strings
+//! while not(termination_criterion):
+//!     S = Selection(S)
+//!     S = CrossOver(S)
+//!     S = Mutation(S, p1, p2)
+//!     update BestSet
+//! ```
+//!
+//! The engine is generic over an [`EvolutionaryProblem`]; the caller supplies
+//! an observer that sees every `(genome, fitness)` evaluation, which is how
+//! the outlier detector maintains its deduplicated best-m set without the
+//! engine knowing anything about projections.
+
+use crate::convergence::population_converged;
+use crate::selection::SelectionScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A problem the engine can evolve. Fitness is minimized.
+pub trait EvolutionaryProblem {
+    /// The genome representation.
+    type Genome: Clone;
+
+    /// Samples a random feasible genome for the seed population.
+    fn random_genome(&self, rng: &mut StdRng) -> Self::Genome;
+
+    /// The objective value (smaller is better).
+    fn fitness(&self, genome: &Self::Genome) -> f64;
+
+    /// Recombines two parents into two children.
+    fn crossover(
+        &self,
+        a: &Self::Genome,
+        b: &Self::Genome,
+        rng: &mut StdRng,
+    ) -> (Self::Genome, Self::Genome);
+
+    /// Mutates a genome in place.
+    fn mutate(&self, genome: &mut Self::Genome, rng: &mut StdRng);
+
+    /// Discrete gene view for De Jong's convergence criterion.
+    fn gene_view(&self, genome: &Self::Genome) -> Vec<u32>;
+}
+
+/// Engine knobs. The defaults mirror the paper's setup: rank-roulette
+/// selection and De Jong convergence at 95 %.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Population size `p`.
+    pub population: usize,
+    /// Selection scheme.
+    pub selection: SelectionScheme,
+    /// De Jong gene-convergence threshold.
+    pub convergence_threshold: f64,
+    /// Hard cap on generations (safety net — convergence is the intended
+    /// termination, but pathological operators could cycle forever).
+    pub max_generations: usize,
+    /// Stop after this many consecutive generations without improving the
+    /// best fitness seen. `None` disables the stall check.
+    pub stall_generations: Option<usize>,
+    /// Elitism: carry the `elitism` fittest genomes of each generation into
+    /// the next unchanged, replacing its worst children. The paper relies on
+    /// its external BestSet instead of elitism (0 here reproduces that);
+    /// nonzero values are a standard refinement that guarantees the
+    /// population's best fitness is monotone.
+    pub elitism: usize,
+    /// RNG seed; every run with the same seed and problem is identical.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            selection: SelectionScheme::RankRoulette,
+            convergence_threshold: 0.95,
+            max_generations: 1000,
+            stall_generations: None,
+            elitism: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// De Jong convergence: ≥ threshold agreement on every gene.
+    Converged,
+    /// Hit the `max_generations` cap.
+    MaxGenerations,
+    /// No improvement for `stall_generations` generations.
+    Stalled,
+}
+
+/// Summary of one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Generations executed (selection+crossover+mutation cycles).
+    pub generations: usize,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+    /// Best fitness ever observed.
+    pub best_fitness: f64,
+    /// A genome achieving `best_fitness` (the first one seen).
+    pub termination: Termination,
+}
+
+/// The evolutionary engine (Fig. 3).
+pub struct Engine<'a, P: EvolutionaryProblem> {
+    problem: &'a P,
+    config: EngineConfig,
+}
+
+impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
+    /// Binds a problem to a configuration.
+    ///
+    /// # Panics
+    /// Panics if the population size is zero.
+    pub fn new(problem: &'a P, config: EngineConfig) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        Self { problem, config }
+    }
+
+    /// Runs to termination. `observer` sees every `(genome, fitness)`
+    /// evaluation, including the seed population, in evaluation order.
+    pub fn run<F: FnMut(&P::Genome, f64)>(&self, mut observer: F) -> RunStats {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let p = self.config.population;
+        let mut population: Vec<P::Genome> = (0..p)
+            .map(|_| self.problem.random_genome(&mut rng))
+            .collect();
+        let mut evaluations: u64 = 0;
+        let mut best = f64::INFINITY;
+
+        let evaluate =
+            |pop: &[P::Genome], observer: &mut F, evals: &mut u64, best: &mut f64| -> Vec<f64> {
+                pop.iter()
+                    .map(|g| {
+                        let f = self.problem.fitness(g);
+                        *evals += 1;
+                        if f < *best {
+                            *best = f;
+                        }
+                        observer(g, f);
+                        f
+                    })
+                    .collect()
+            };
+
+        let mut fitness = evaluate(&population, &mut observer, &mut evaluations, &mut best);
+
+        let mut generations = 0usize;
+        let mut stall = 0usize;
+        // Elite snapshot carried between generations when elitism is on.
+        let mut elite: Vec<(P::Genome, f64)> = if self.config.elitism > 0 {
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("comparable"));
+            order
+                .into_iter()
+                .take(self.config.elitism)
+                .map(|i| (population[i].clone(), fitness[i]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let termination = loop {
+            // Termination checks first, so a converged seed stops at once.
+            let views: Vec<Vec<u32>> = population
+                .iter()
+                .map(|g| self.problem.gene_view(g))
+                .collect();
+            if population_converged(&views, self.config.convergence_threshold) {
+                break Termination::Converged;
+            }
+            if generations >= self.config.max_generations {
+                break Termination::MaxGenerations;
+            }
+            if let Some(limit) = self.config.stall_generations {
+                if stall >= limit {
+                    break Termination::Stalled;
+                }
+            }
+
+            // Selection.
+            let parents = self.config.selection.select(&fitness, &mut rng);
+            let mut next: Vec<P::Genome> = parents.iter().map(|&i| population[i].clone()).collect();
+
+            // Crossover: match pairwise (Fig. 5 "match the solutions in the
+            // population pairwise"); an odd trailing member passes through.
+            for pair in (0..next.len() / 2).map(|i| 2 * i) {
+                let (a, b) = (next[pair].clone(), next[pair + 1].clone());
+                let (c, d) = self.problem.crossover(&a, &b, &mut rng);
+                next[pair] = c;
+                next[pair + 1] = d;
+            }
+
+            // Mutation.
+            for genome in next.iter_mut() {
+                self.problem.mutate(genome, &mut rng);
+            }
+
+            population = next;
+            let before = best;
+            fitness = evaluate(&population, &mut observer, &mut evaluations, &mut best);
+
+            // Elitism: reinstate the previous generation's best genomes over
+            // this generation's worst (using the already-computed fitness of
+            // both, so no extra evaluations are spent).
+            if self.config.elitism > 0 {
+                let e = self.config.elitism.min(elite.len());
+                let mut worst: Vec<usize> = (0..population.len()).collect();
+                worst.sort_by(|&a, &b| fitness[b].partial_cmp(&fitness[a]).expect("comparable"));
+                for (slot, (genome, f)) in worst.iter().zip(elite.drain(..e)) {
+                    if f < fitness[*slot] {
+                        population[*slot] = genome;
+                        fitness[*slot] = f;
+                    }
+                }
+            }
+            // Snapshot the elite for the next generation.
+            if self.config.elitism > 0 {
+                let mut order: Vec<usize> = (0..population.len()).collect();
+                order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("comparable"));
+                elite = order
+                    .into_iter()
+                    .take(self.config.elitism)
+                    .map(|i| (population[i].clone(), fitness[i]))
+                    .collect();
+            }
+
+            stall = if best < before { 0 } else { stall + 1 };
+            generations += 1;
+        };
+
+        RunStats {
+            generations,
+            evaluations,
+            best_fitness: best,
+            termination,
+        }
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+}
+
+/// Convenience: a seeded `StdRng` for callers implementing
+/// [`EvolutionaryProblem`] operators in tests.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform two-point segment-exchange crossover over equal-length vectors —
+/// the generic "unbiased" recombination of §2.2, exposed here because both
+/// the outlier problem's baseline crossover and test problems use it.
+///
+/// Picks one cut position uniformly in `1..len` and swaps the suffixes.
+/// (The paper calls this "two-point" in the sense of two crossover
+/// *products*; the operation is the classic single-cut exchange illustrated
+/// by its `3*2*1 × 1*33* → 3*23* / 1*3*1` example.)
+///
+/// Returns clones unchanged when `len < 2`.
+pub fn two_point_crossover<T: Clone, R: Rng>(a: &[T], b: &[T], rng: &mut R) -> (Vec<T>, Vec<T>) {
+    assert_eq!(a.len(), b.len(), "genome length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return (a.to_vec(), b.to_vec());
+    }
+    let cut = rng.gen_range(1..n);
+    let mut c = a[..cut].to_vec();
+    c.extend_from_slice(&b[cut..]);
+    let mut d = b[..cut].to_vec();
+    d.extend_from_slice(&a[cut..]);
+    (c, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// OneMax in minimized form: genome of 0/1, fitness = -(number of ones).
+    struct OneMax {
+        len: usize,
+        mutation_rate: f64,
+    }
+
+    impl EvolutionaryProblem for OneMax {
+        type Genome = Vec<u8>;
+
+        fn random_genome(&self, rng: &mut StdRng) -> Vec<u8> {
+            (0..self.len).map(|_| rng.gen_range(0..=1)).collect()
+        }
+
+        fn fitness(&self, g: &Vec<u8>) -> f64 {
+            -(g.iter().filter(|&&b| b == 1).count() as f64)
+        }
+
+        fn crossover(&self, a: &Vec<u8>, b: &Vec<u8>, rng: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
+            two_point_crossover(a, b, rng)
+        }
+
+        fn mutate(&self, g: &mut Vec<u8>, rng: &mut StdRng) {
+            for bit in g.iter_mut() {
+                if rng.gen::<f64>() < self.mutation_rate {
+                    *bit ^= 1;
+                }
+            }
+        }
+
+        fn gene_view(&self, g: &Vec<u8>) -> Vec<u32> {
+            g.iter().map(|&b| b as u32).collect()
+        }
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let problem = OneMax {
+            len: 24,
+            mutation_rate: 0.01,
+        };
+        let engine = Engine::new(
+            &problem,
+            EngineConfig {
+                population: 60,
+                max_generations: 300,
+                seed: 42,
+                ..EngineConfig::default()
+            },
+        );
+        let stats = engine.run(|_, _| {});
+        assert!(
+            stats.best_fitness <= -22.0,
+            "best {} after {} generations",
+            stats.best_fitness,
+            stats.generations
+        );
+        assert!(stats.evaluations >= 60);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let problem = OneMax {
+            len: 16,
+            mutation_rate: 0.02,
+        };
+        let config = EngineConfig {
+            population: 30,
+            max_generations: 50,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let run = |cfg: &EngineConfig| {
+            let engine = Engine::new(&problem, cfg.clone());
+            let mut trace = Vec::new();
+            let stats = engine.run(|_, f| trace.push(f));
+            (trace, stats.best_fitness, stats.generations)
+        };
+        assert_eq!(run(&config), run(&config));
+        let other = EngineConfig {
+            seed: 8,
+            ..config.clone()
+        };
+        assert_ne!(run(&config).0, run(&other).0);
+    }
+
+    #[test]
+    fn converged_seed_population_stops_immediately() {
+        // Mutation off, crossover preserves identical genomes; a fully
+        // uniform random problem where random_genome is constant converges
+        // in the seed generation.
+        struct Constant;
+        impl EvolutionaryProblem for Constant {
+            type Genome = Vec<u8>;
+            fn random_genome(&self, _: &mut StdRng) -> Vec<u8> {
+                vec![1, 2, 3]
+            }
+            fn fitness(&self, _: &Vec<u8>) -> f64 {
+                0.0
+            }
+            fn crossover(&self, a: &Vec<u8>, b: &Vec<u8>, _: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
+                (a.clone(), b.clone())
+            }
+            fn mutate(&self, _: &mut Vec<u8>, _: &mut StdRng) {}
+            fn gene_view(&self, g: &Vec<u8>) -> Vec<u32> {
+                g.iter().map(|&b| b as u32).collect()
+            }
+        }
+        let engine = Engine::new(&Constant, EngineConfig::default());
+        let stats = engine.run(|_, _| {});
+        assert_eq!(stats.generations, 0);
+        assert_eq!(stats.termination, Termination::Converged);
+        assert_eq!(stats.evaluations, 100);
+    }
+
+    #[test]
+    fn max_generations_cap_applies() {
+        // High mutation prevents convergence.
+        let problem = OneMax {
+            len: 30,
+            mutation_rate: 0.5,
+        };
+        let engine = Engine::new(
+            &problem,
+            EngineConfig {
+                population: 20,
+                max_generations: 5,
+                seed: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let stats = engine.run(|_, _| {});
+        assert_eq!(stats.generations, 5);
+        assert_eq!(stats.termination, Termination::MaxGenerations);
+    }
+
+    #[test]
+    fn stall_termination_fires() {
+        // A flat fitness landscape never improves after the seed.
+        struct Flat;
+        impl EvolutionaryProblem for Flat {
+            type Genome = Vec<u8>;
+            fn random_genome(&self, rng: &mut StdRng) -> Vec<u8> {
+                vec![rng.gen_range(0..=200)]
+            }
+            fn fitness(&self, _: &Vec<u8>) -> f64 {
+                1.0
+            }
+            fn crossover(&self, a: &Vec<u8>, b: &Vec<u8>, _: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
+                (a.clone(), b.clone())
+            }
+            fn mutate(&self, g: &mut Vec<u8>, rng: &mut StdRng) {
+                g[0] = rng.gen_range(0..=200); // keep the population diverse
+            }
+            fn gene_view(&self, g: &Vec<u8>) -> Vec<u32> {
+                g.iter().map(|&b| b as u32).collect()
+            }
+        }
+        let engine = Engine::new(
+            &Flat,
+            EngineConfig {
+                population: 50,
+                stall_generations: Some(3),
+                max_generations: 1000,
+                seed: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let stats = engine.run(|_, _| {});
+        assert_eq!(stats.termination, Termination::Stalled);
+        assert!(stats.generations <= 10);
+    }
+
+    #[test]
+    fn observer_sees_every_evaluation() {
+        let problem = OneMax {
+            len: 8,
+            mutation_rate: 0.05,
+        };
+        let engine = Engine::new(
+            &problem,
+            EngineConfig {
+                population: 10,
+                max_generations: 3,
+                convergence_threshold: 1.01, // unreachable: force the cap
+                seed: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let mut count = 0u64;
+        let stats = engine.run(|_, _| count += 1);
+        assert_eq!(count, stats.evaluations);
+        assert_eq!(count, 10 * 4); // seed + 3 generations
+    }
+
+    #[test]
+    fn elitism_rescues_destructive_mutation() {
+        // Mutation so hot it destroys good genomes every generation: without
+        // elitism the population cannot hold on to progress; with it, the
+        // best genomes persist and selection can climb.
+        let problem = OneMax {
+            len: 40,
+            mutation_rate: 0.25,
+        };
+        let run = |elitism: usize| {
+            let engine = Engine::new(
+                &problem,
+                EngineConfig {
+                    population: 40,
+                    max_generations: 120,
+                    convergence_threshold: 1.01, // force the full budget
+                    elitism,
+                    seed: 77,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.run(|_, _| {}).best_fitness
+        };
+        let without = run(0);
+        let with = run(4);
+        assert!(
+            with <= without - 2.0,
+            "elitism {with} vs none {without} (lower = better)"
+        );
+        assert!(with <= -34.0, "elitism should get close to optimal: {with}");
+    }
+
+    #[test]
+    fn elitism_zero_matches_legacy_behavior() {
+        let problem = OneMax {
+            len: 12,
+            mutation_rate: 0.05,
+        };
+        let config = EngineConfig {
+            population: 20,
+            max_generations: 25,
+            seed: 5,
+            ..EngineConfig::default()
+        };
+        let a = Engine::new(&problem, config.clone()).run(|_, _| {});
+        let b = Engine::new(
+            &problem,
+            EngineConfig {
+                elitism: 0,
+                ..config
+            },
+        )
+        .run(|_, _| {});
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_panics() {
+        let problem = OneMax {
+            len: 4,
+            mutation_rate: 0.0,
+        };
+        Engine::new(
+            &problem,
+            EngineConfig {
+                population: 0,
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn two_point_crossover_properties() {
+        let mut rng = seeded_rng(11);
+        let a = vec![1, 1, 1, 1, 1];
+        let b = vec![2, 2, 2, 2, 2];
+        for _ in 0..20 {
+            let (c, d) = two_point_crossover(&a, &b, &mut rng);
+            assert_eq!(c.len(), 5);
+            // Each position comes from the opposite parent in d vs c.
+            for i in 0..5 {
+                assert_ne!(c[i], d[i]);
+                assert!(c[i] == 1 || c[i] == 2);
+            }
+            // Prefix from a, suffix from b.
+            let cut = c.iter().position(|&x| x == 2).unwrap_or(5);
+            assert!(c[..cut].iter().all(|&x| x == 1));
+            assert!(c[cut..].iter().all(|&x| x == 2));
+        }
+        // Degenerate lengths pass through.
+        let (c, d) = two_point_crossover(&[7], &[9], &mut rng);
+        assert_eq!((c, d), (vec![7], vec![9]));
+        let (c, _) = two_point_crossover::<i32, _>(&[], &[], &mut rng);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn crossover_length_mismatch_panics() {
+        let mut rng = seeded_rng(12);
+        two_point_crossover(&[1, 2], &[1], &mut rng);
+    }
+}

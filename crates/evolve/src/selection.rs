@@ -1,0 +1,252 @@
+//! Selection schemes.
+//!
+//! All schemes sample `p` parents *with replacement* from a population of
+//! `p` fitness values, returning indices. Fitness is minimized.
+
+use hdoutlier_stats::rank::ranks;
+use rand::Rng;
+
+/// Which selection pressure to apply each generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionScheme {
+    /// The paper's scheme (Fig. 4): strings are ranked with the most
+    /// negative fitness first (rank 1), and a string of rank `r` is sampled
+    /// with probability proportional to `p − r`. The worst string gets
+    /// weight 0. More stable than fitness-proportional selection because it
+    /// only depends on the ordering, not the magnitudes.
+    RankRoulette,
+    /// Classic roulette on shifted fitness: weight `max_fitness − f(i)`.
+    /// Degenerates when fitness values are nearly equal — the instability
+    /// the paper cites for preferring rank selection.
+    FitnessProportional,
+    /// Pick `size` uniform candidates, keep the best. `size = 1` is uniform
+    /// random selection (no pressure).
+    Tournament {
+        /// Number of candidates per tournament.
+        size: usize,
+    },
+}
+
+impl SelectionScheme {
+    /// Samples `fitness.len()` parent indices.
+    ///
+    /// # Panics
+    /// Panics on an empty population or a `Tournament { size: 0 }`.
+    pub fn select<R: Rng>(&self, fitness: &[f64], rng: &mut R) -> Vec<usize> {
+        let p = fitness.len();
+        assert!(p > 0, "cannot select from an empty population");
+        match self {
+            SelectionScheme::RankRoulette => {
+                // rank 0 = most negative. Paper weight p − r with 1-based
+                // ranks ⇒ weights p−1 … 0 for 0-based ranks r: w = p−1−r.
+                let r = ranks(fitness);
+                let weights: Vec<f64> = r.iter().map(|&ri| (p - 1 - ri) as f64).collect();
+                roulette(&weights, p, rng)
+            }
+            SelectionScheme::FitnessProportional => {
+                let max = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let weights: Vec<f64> = fitness.iter().map(|&f| max - f).collect();
+                roulette(&weights, p, rng)
+            }
+            SelectionScheme::Tournament { size } => {
+                assert!(*size > 0, "tournament size must be positive");
+                (0..p)
+                    .map(|_| {
+                        let mut best = rng.gen_range(0..p);
+                        for _ in 1..*size {
+                            let c = rng.gen_range(0..p);
+                            if fitness[c] < fitness[best] {
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Roulette-wheel sampling of `n` indices proportional to `weights`.
+/// If all weights are zero (e.g. a population of one under rank selection),
+/// falls back to uniform sampling.
+fn roulette<R: Rng>(weights: &[f64], n: usize, rng: &mut R) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    if total.is_nan() || total <= 0.0 {
+        return (0..n).map(|_| rng.gen_range(0..weights.len())).collect();
+    }
+    // Cumulative table + binary search per draw: O(p log p) per generation.
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w.max(0.0);
+        cumulative.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let x = rng.gen::<f64>() * acc;
+            cumulative
+                .partition_point(|&c| c <= x)
+                .min(weights.len() - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequency(selected: &[usize], p: usize) -> Vec<f64> {
+        let mut counts = vec![0usize; p];
+        for &i in selected {
+            counts[i] += 1;
+        }
+        counts
+            .iter()
+            .map(|&c| c as f64 / selected.len() as f64)
+            .collect()
+    }
+
+    fn sample_many<R: Rng>(scheme: SelectionScheme, fitness: &[f64], rng: &mut R) -> Vec<usize> {
+        let mut all = Vec::new();
+        for _ in 0..2000 {
+            all.extend(scheme.select(fitness, rng));
+        }
+        all
+    }
+
+    #[test]
+    fn rank_roulette_matches_paper_weights() {
+        // Fitness [-3, -1, -2, 0] → ranks 0,2,1,3 → weights 3,1,2,0,
+        // expected frequencies 1/2, 1/6, 1/3, 0.
+        let mut rng = StdRng::seed_from_u64(1);
+        let fitness = [-3.0, -1.0, -2.0, 0.0];
+        let freq = frequency(
+            &sample_many(SelectionScheme::RankRoulette, &fitness, &mut rng),
+            4,
+        );
+        assert!((freq[0] - 0.5).abs() < 0.02, "{freq:?}");
+        assert!((freq[1] - 1.0 / 6.0).abs() < 0.02);
+        assert!((freq[2] - 1.0 / 3.0).abs() < 0.02);
+        assert_eq!(freq[3], 0.0, "worst string must never be selected");
+    }
+
+    #[test]
+    fn rank_roulette_depends_only_on_order() {
+        // Same ordering, wildly different magnitudes ⇒ same distribution.
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let a = sample_many(
+            SelectionScheme::RankRoulette,
+            &[-3.0, -2.0, -1.0],
+            &mut rng1,
+        );
+        let b = sample_many(
+            SelectionScheme::RankRoulette,
+            &[-3000.0, -0.2, -0.1],
+            &mut rng2,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fitness_proportional_prefers_better() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fitness = [-10.0, -5.0, 0.0];
+        let freq = frequency(
+            &sample_many(SelectionScheme::FitnessProportional, &fitness, &mut rng),
+            3,
+        );
+        // Weights 10, 5, 0 → 2/3, 1/3, 0.
+        assert!((freq[0] - 2.0 / 3.0).abs() < 0.02, "{freq:?}");
+        assert!((freq[1] - 1.0 / 3.0).abs() < 0.02);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn fitness_proportional_collapses_on_flat_fitness() {
+        // The instability the paper warns about: equal fitness ⇒ uniform.
+        let mut rng = StdRng::seed_from_u64(4);
+        let freq = frequency(
+            &sample_many(
+                SelectionScheme::FitnessProportional,
+                &[-1.0, -1.0],
+                &mut rng,
+            ),
+            2,
+        );
+        assert!((freq[0] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn tournament_pressure_increases_with_size() {
+        let fitness = [-2.0, -1.0, 0.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let f2 = frequency(
+            &sample_many(SelectionScheme::Tournament { size: 2 }, &fitness, &mut rng),
+            4,
+        );
+        let f4 = frequency(
+            &sample_many(SelectionScheme::Tournament { size: 4 }, &fitness, &mut rng),
+            4,
+        );
+        assert!(f4[0] > f2[0], "larger tournaments favor the best more");
+        // size-2 theory: best selected with prob 1 - (3/4)^2 = 7/16.
+        assert!((f2[0] - 7.0 / 16.0).abs() < 0.02, "{f2:?}");
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let freq = frequency(
+            &sample_many(
+                SelectionScheme::Tournament { size: 1 },
+                &[-5.0, 0.0],
+                &mut rng,
+            ),
+            2,
+        );
+        assert!((freq[0] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn population_of_one_survives() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for scheme in [
+            SelectionScheme::RankRoulette,
+            SelectionScheme::FitnessProportional,
+            SelectionScheme::Tournament { size: 3 },
+        ] {
+            assert_eq!(scheme.select(&[-1.0], &mut rng), vec![0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        SelectionScheme::RankRoulette.select(&[], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "tournament size")]
+    fn zero_tournament_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        SelectionScheme::Tournament { size: 0 }.select(&[1.0], &mut rng);
+    }
+
+    #[test]
+    fn output_size_matches_population() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let fitness: Vec<f64> = (0..17).map(|i| -(i as f64)).collect();
+        for scheme in [
+            SelectionScheme::RankRoulette,
+            SelectionScheme::FitnessProportional,
+            SelectionScheme::Tournament { size: 2 },
+        ] {
+            assert_eq!(scheme.select(&fitness, &mut rng).len(), 17);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the evolutionary-search substrate.
+
+use hdoutlier_evolve::{
+    gene_convergence, population_converged, two_point_crossover, SelectionScheme,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn selection_returns_valid_indices(
+        fitness in proptest::collection::vec(-100f64..100.0, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for scheme in [
+            SelectionScheme::RankRoulette,
+            SelectionScheme::FitnessProportional,
+            SelectionScheme::Tournament { size: 3 },
+        ] {
+            let selected = scheme.select(&fitness, &mut rng);
+            prop_assert_eq!(selected.len(), fitness.len());
+            prop_assert!(selected.iter().all(|&i| i < fitness.len()));
+        }
+    }
+
+    #[test]
+    fn rank_roulette_never_selects_the_unique_worst(
+        fitness in proptest::collection::vec(-100f64..100.0, 2..30),
+        seed in any::<u64>(),
+    ) {
+        // Make the maximum unique.
+        let mut fitness = fitness;
+        let max = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let worst_idx = fitness.iter().position(|&f| f == max).unwrap();
+        fitness[worst_idx] = max + 1.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let selected = SelectionScheme::RankRoulette.select(&fitness, &mut rng);
+            prop_assert!(!selected.contains(&worst_idx));
+        }
+    }
+
+    #[test]
+    fn convergence_thresholds_are_monotone(
+        pop in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 5),
+            1..30,
+        ),
+        t1 in 0.1f64..1.0,
+        t2 in 0.1f64..1.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        // Converged at a stricter threshold ⇒ converged at a looser one.
+        if population_converged(&pop, hi) {
+            prop_assert!(population_converged(&pop, lo));
+        }
+    }
+
+    #[test]
+    fn gene_convergence_bounds(
+        pop in proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 4),
+            1..40,
+        ),
+    ) {
+        let conv = gene_convergence(&pop);
+        prop_assert_eq!(conv.len(), 4);
+        let min_share = 1.0 / pop.len() as f64;
+        for &c in &conv {
+            prop_assert!(c >= min_share - 1e-12 && c <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_population_always_converges(
+        genome in proptest::collection::vec(0u32..9, 0..8),
+        n in 1usize..20,
+        threshold in 0.05f64..1.0,
+    ) {
+        let pop = vec![genome; n];
+        prop_assert!(population_converged(&pop, threshold));
+    }
+
+    #[test]
+    fn two_point_crossover_preserves_multiset(
+        a in proptest::collection::vec(0u8..10, 2..20),
+        seed in any::<u64>(),
+    ) {
+        let b: Vec<u8> = a.iter().map(|&x| x.wrapping_add(1) % 10).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (c, d) = two_point_crossover(&a, &b, &mut rng);
+        prop_assert_eq!(c.len(), a.len());
+        for i in 0..a.len() {
+            let mut got = [c[i], d[i]];
+            let mut want = [a[i], b[i]];
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! A packed bitset over `u64` words.
+//!
+//! Tuned for the one operation the detector hammers: intersect k bitmaps and
+//! count the result, without allocating. All bitmaps in one [`crate::grid::GridIndex`]
+//! share a length, so the word loops are branch-free.
+
+/// A fixed-length bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap able to hold `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero addressable bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for length {}",
+            self.len
+        );
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for length {}",
+            self.len
+        );
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for length {}",
+            self.len
+        );
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Popcount of the intersection of `maps` (all must share a length).
+    ///
+    /// Allocation-free: folds word-by-word.
+    ///
+    /// ```
+    /// use hdoutlier_index::Bitmap;
+    /// let mut evens = Bitmap::new(100);
+    /// let mut thirds = Bitmap::new(100);
+    /// for i in (0..100).step_by(2) { evens.set(i); }
+    /// for i in (0..100).step_by(3) { thirds.set(i); }
+    /// // Multiples of 6 below 100: 0, 6, …, 96 → 17 of them.
+    /// assert_eq!(Bitmap::intersection_count(&[&evens, &thirds]), 17);
+    /// ```
+    pub fn intersection_count(maps: &[&Bitmap]) -> usize {
+        match maps {
+            [] => 0,
+            [only] => only.count(),
+            [first, rest @ ..] => {
+                debug_assert!(rest.iter().all(|m| m.len == first.len));
+                let mut total = 0usize;
+                for (wi, &w0) in first.words.iter().enumerate() {
+                    let mut w = w0;
+                    for m in rest {
+                        w &= m.words[wi];
+                        if w == 0 {
+                            break;
+                        }
+                    }
+                    total += w.count_ones() as usize;
+                }
+                total
+            }
+        }
+    }
+
+    /// Materializes the intersection of `maps` into a new bitmap.
+    ///
+    /// # Panics
+    /// Panics if `maps` is empty (there is no length to give "everything").
+    pub fn intersection(maps: &[&Bitmap]) -> Bitmap {
+        let first = maps.first().expect("intersection of zero bitmaps");
+        let mut out = (*first).clone();
+        for m in &maps[1..] {
+            debug_assert_eq!(m.len, out.len);
+            for (o, w) in out.words.iter_mut().zip(&m.words) {
+                *o &= w;
+            }
+        }
+        out
+    }
+
+    /// Indices of set bits in the intersection of `maps`, ascending.
+    pub fn intersection_members(maps: &[&Bitmap]) -> Vec<usize> {
+        if maps.is_empty() {
+            return Vec::new();
+        }
+        Bitmap::intersection(maps).iter_ones().collect()
+    }
+
+    /// Iterator over indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place union with another bitmap of the same length.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// Iterator over set-bit indices.
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert_eq!(b.count(), 4);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        Bitmap::new(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::new(0).get(0);
+    }
+
+    #[test]
+    fn intersection_count_matches_materialized() {
+        let mut a = Bitmap::new(200);
+        let mut b = Bitmap::new(200);
+        let mut c = Bitmap::new(200);
+        for i in (0..200).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(3) {
+            b.set(i);
+        }
+        for i in (0..200).step_by(5) {
+            c.set(i);
+        }
+        let maps = [&a, &b, &c];
+        let count = Bitmap::intersection_count(&maps);
+        let inter = Bitmap::intersection(&maps);
+        assert_eq!(count, inter.count());
+        // Multiples of 30 in 0..200: 0, 30, 60, …, 180 → 7.
+        assert_eq!(count, 7);
+        assert_eq!(
+            Bitmap::intersection_members(&maps),
+            vec![0, 30, 60, 90, 120, 150, 180]
+        );
+    }
+
+    #[test]
+    fn intersection_edge_cases() {
+        let mut a = Bitmap::new(10);
+        a.set(3);
+        assert_eq!(Bitmap::intersection_count(&[]), 0);
+        assert_eq!(Bitmap::intersection_count(&[&a]), 1);
+        assert!(Bitmap::intersection_members(&[] as &[&Bitmap]).is_empty());
+        let empty = Bitmap::new(10);
+        assert_eq!(Bitmap::intersection_count(&[&a, &empty]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bitmaps")]
+    fn materialized_intersection_of_nothing_panics() {
+        Bitmap::intersection(&[]);
+    }
+
+    #[test]
+    fn iter_ones_sparse_and_dense() {
+        let mut b = Bitmap::new(300);
+        let expected = vec![0usize, 1, 64, 65, 128, 255, 299];
+        for &i in &expected {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), expected);
+        let empty = Bitmap::new(300);
+        assert_eq!(empty.iter_ones().count(), 0);
+        let zero_len = Bitmap::new(0);
+        assert_eq!(zero_len.iter_ones().count(), 0);
+        assert!(zero_len.is_empty());
+    }
+
+    #[test]
+    fn union_with_accumulates() {
+        let mut a = Bitmap::new(70);
+        a.set(1);
+        let mut b = Bitmap::new(70);
+        b.set(69);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_length_mismatch_panics() {
+        Bitmap::new(10).union_with(&Bitmap::new(11));
+    }
+}

@@ -1,0 +1,167 @@
+//! The k-dimensional cube: a set of dimensions with one grid range each.
+//!
+//! A cube is the unit the sparsity coefficient scores (paper §1.3): pick k
+//! distinct dimensions and one of the φ equi-depth ranges on each. The
+//! projection-string representation of the evolutionary algorithm ("\*3\*9")
+//! lives in `hdoutlier-core`; this type is its resolved, search-agnostic
+//! form shared by all counters.
+
+use std::fmt;
+
+/// A k-dimensional grid cube: parallel `dims`/`ranges` arrays, with `dims`
+/// strictly ascending (canonical form, so equal cubes compare equal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    dims: Vec<u32>,
+    ranges: Vec<u16>,
+}
+
+impl Cube {
+    /// Builds a cube from `(dimension, range)` pairs; pairs are sorted by
+    /// dimension into canonical form.
+    ///
+    /// Returns `None` if `pairs` is empty or contains a repeated dimension.
+    pub fn new(pairs: impl IntoIterator<Item = (u32, u16)>) -> Option<Self> {
+        let mut pairs: Vec<(u32, u16)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return None;
+        }
+        pairs.sort_unstable_by_key(|&(d, _)| d);
+        if pairs.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        Some(Self {
+            dims: pairs.iter().map(|&(d, _)| d).collect(),
+            ranges: pairs.iter().map(|&(_, r)| r).collect(),
+        })
+    }
+
+    /// Dimensionality `k` of the cube.
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions, ascending.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// The grid range chosen on each dimension, aligned with [`Cube::dims`].
+    pub fn ranges(&self) -> &[u16] {
+        &self.ranges
+    }
+
+    /// Iterates `(dimension, range)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u16)> + '_ {
+        self.dims.iter().copied().zip(self.ranges.iter().copied())
+    }
+
+    /// Whether the cube constrains dimension `dim`, and to which range.
+    pub fn range_of(&self, dim: u32) -> Option<u16> {
+        self.dims.binary_search(&dim).ok().map(|i| self.ranges[i])
+    }
+
+    /// A new cube extended with one more `(dimension, range)` pair.
+    /// Returns `None` if the dimension is already constrained.
+    pub fn extended(&self, dim: u32, range: u16) -> Option<Self> {
+        if self.range_of(dim).is_some() {
+            return None;
+        }
+        let mut pairs: Vec<(u32, u16)> = self.pairs().collect();
+        pairs.push((dim, range));
+        Self::new(pairs)
+    }
+
+    /// The paper's string notation for a `d`-dimensional problem: one symbol
+    /// per dimension, `*` for unconstrained, the 1-based range otherwise
+    /// (e.g. `*3*9` for a 4-dimensional problem).
+    pub fn to_projection_string(&self, d: usize) -> String {
+        let mut out = String::new();
+        let mut next = 0usize;
+        for dim in 0..d as u32 {
+            if next < self.dims.len() && self.dims[next] == dim {
+                out.push_str(&(self.ranges[next] + 1).to_string());
+                next += 1;
+            } else {
+                out.push('*');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (d, r)) in self.pairs().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "d{d}∈r{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_sorts_dims() {
+        let a = Cube::new([(5, 2), (1, 7)]).unwrap();
+        let b = Cube::new([(1, 7), (5, 2)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.dims(), &[1, 5]);
+        assert_eq!(a.ranges(), &[7, 2]);
+        assert_eq!(a.k(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(Cube::new([]).is_none());
+        assert!(Cube::new([(3, 1), (3, 2)]).is_none());
+    }
+
+    #[test]
+    fn range_lookup() {
+        let c = Cube::new([(2, 4), (9, 0)]).unwrap();
+        assert_eq!(c.range_of(2), Some(4));
+        assert_eq!(c.range_of(9), Some(0));
+        assert_eq!(c.range_of(5), None);
+    }
+
+    #[test]
+    fn extension() {
+        let c = Cube::new([(1, 1)]).unwrap();
+        let e = c.extended(0, 3).unwrap();
+        assert_eq!(e.dims(), &[0, 1]);
+        assert_eq!(e.ranges(), &[3, 1]);
+        assert!(c.extended(1, 5).is_none()); // already constrained
+    }
+
+    #[test]
+    fn projection_string_matches_paper_notation() {
+        // Paper §2.2 example: *3*9 — 4-dimensional, ranges on dims 2 and 4
+        // (1-based), i.e. 0-based dims 1 and 3 with 1-based ranges 3 and 9.
+        let c = Cube::new([(1, 2), (3, 8)]).unwrap();
+        assert_eq!(c.to_projection_string(4), "*3*9");
+        let c = Cube::new([(0, 0)]).unwrap();
+        assert_eq!(c.to_projection_string(3), "1**");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Cube::new([(0, 1), (4, 2)]).unwrap();
+        assert_eq!(c.to_string(), "{d0∈r1, d4∈r2}");
+    }
+
+    #[test]
+    fn hashable_and_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Cube::new([(1, 1), (2, 2)]).unwrap());
+        assert!(set.contains(&Cube::new([(2, 2), (1, 1)]).unwrap()));
+        assert!(!set.contains(&Cube::new([(2, 2)]).unwrap()));
+    }
+}

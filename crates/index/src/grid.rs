@@ -1,0 +1,191 @@
+//! Posting-list index over a discretized dataset.
+//!
+//! One bitmap per `(dimension, range)` pair, each marking the rows whose
+//! value on that dimension falls in that range. Cube occupancy is then a
+//! k-way bitmap intersection — `O(k · N / 64)` per cube and cache-friendly,
+//! which is what makes brute-force enumeration feasible at all for the
+//! low-dimensional Table-1 datasets and keeps GA fitness evaluations cheap.
+//!
+//! Missing values never appear in any posting, so a record with a missing
+//! attribute simply cannot cover cubes constraining that attribute — the
+//! semantics §1.2 of the paper requires.
+
+use crate::bitmap::Bitmap;
+use crate::cube::Cube;
+use hdoutlier_data::discretize::{Discretized, MISSING_CELL};
+
+/// An inverted index from `(dimension, range)` to the set of matching rows.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// `postings[dim * phi + range]`.
+    postings: Vec<Bitmap>,
+    n_rows: usize,
+    n_dims: usize,
+    phi: u32,
+}
+
+impl GridIndex {
+    /// Builds the index from a discretized dataset in one pass.
+    pub fn new(disc: &Discretized) -> Self {
+        let n_rows = disc.n_rows();
+        let n_dims = disc.n_dims();
+        let phi = disc.phi();
+        let mut postings = vec![Bitmap::new(n_rows); n_dims * phi as usize];
+        for row in 0..n_rows {
+            for dim in 0..n_dims {
+                let cell = disc.cell(row, dim);
+                if cell != MISSING_CELL {
+                    postings[dim * phi as usize + cell as usize].set(row);
+                }
+            }
+        }
+        Self {
+            postings,
+            n_rows,
+            n_dims,
+            phi,
+        }
+    }
+
+    /// Number of records indexed.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of dimensions indexed.
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Grid ranges per dimension.
+    pub fn phi(&self) -> u32 {
+        self.phi
+    }
+
+    /// The posting bitmap of `(dim, range)`.
+    ///
+    /// # Panics
+    /// Panics if `dim` or `range` is out of bounds.
+    pub fn posting(&self, dim: u32, range: u16) -> &Bitmap {
+        assert!(
+            (dim as usize) < self.n_dims,
+            "dimension {dim} out of bounds"
+        );
+        assert!((range as u32) < self.phi, "range {range} out of bounds");
+        &self.postings[dim as usize * self.phi as usize + range as usize]
+    }
+
+    /// Number of records in `cube` (bitmap intersection + popcount).
+    pub fn count(&self, cube: &Cube) -> usize {
+        let maps: Vec<&Bitmap> = cube.pairs().map(|(d, r)| self.posting(d, r)).collect();
+        Bitmap::intersection_count(&maps)
+    }
+
+    /// Row indices of the records in `cube`, ascending.
+    pub fn rows(&self, cube: &Cube) -> Vec<usize> {
+        let maps: Vec<&Bitmap> = cube.pairs().map(|(d, r)| self.posting(d, r)).collect();
+        Bitmap::intersection_members(&maps)
+    }
+
+    /// Memory footprint of the postings in bytes (diagnostics/benches).
+    pub fn memory_bytes(&self) -> usize {
+        self.postings.len() * self.n_rows.div_ceil(64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoutlier_data::discretize::DiscretizeStrategy;
+    use hdoutlier_data::Dataset;
+
+    fn small_grid() -> (Discretized, GridIndex) {
+        // 8 rows, 2 dims; values 0..8 so equi-depth with φ=4 puts rows
+        // 2i, 2i+1 in range i on dim 0. Dim 1 reversed.
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (7 - i) as f64]).collect();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let disc = Discretized::new(&ds, 4, DiscretizeStrategy::EquiDepth).unwrap();
+        let index = GridIndex::new(&disc);
+        (disc, index)
+    }
+
+    #[test]
+    fn postings_partition_rows() {
+        let (_, index) = small_grid();
+        for dim in 0..2u32 {
+            let mut seen = [false; 8];
+            for range in 0..4u16 {
+                for row in index.posting(dim, range).iter_ones() {
+                    assert!(!seen[row], "row {row} in two ranges");
+                    seen[row] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn cube_counts() {
+        let (_, index) = small_grid();
+        // Dim0 range 0 = rows {0,1}; dim1 range 3 = rows with value >= 6 on
+        // dim1 = rows {0,1}. Intersection = {0,1}.
+        let cube = Cube::new([(0, 0), (1, 3)]).unwrap();
+        assert_eq!(index.count(&cube), 2);
+        assert_eq!(index.rows(&cube), vec![0, 1]);
+        // Contradictory cube: dim0 range 0 ∧ dim1 range 0 = {0,1} ∧ {6,7} = ∅.
+        let cube = Cube::new([(0, 0), (1, 0)]).unwrap();
+        assert_eq!(index.count(&cube), 0);
+        assert!(index.rows(&cube).is_empty());
+    }
+
+    #[test]
+    fn single_dimension_cube() {
+        let (_, index) = small_grid();
+        let cube = Cube::new([(1, 2)]).unwrap();
+        assert_eq!(index.count(&cube), 2);
+    }
+
+    #[test]
+    fn missing_rows_are_absent_from_postings() {
+        let ds = Dataset::from_rows(vec![
+            vec![1.0, 1.0],
+            vec![f64::NAN, 2.0],
+            vec![3.0, f64::NAN],
+            vec![4.0, 4.0],
+        ])
+        .unwrap();
+        let disc = Discretized::new(&ds, 2, DiscretizeStrategy::EquiDepth).unwrap();
+        let index = GridIndex::new(&disc);
+        // Row 1 is missing on dim 0: it appears in no dim-0 posting.
+        let in_dim0: usize = (0..2u16).map(|r| index.posting(0, r).count()).sum();
+        assert_eq!(in_dim0, 3);
+        // And any cube constraining dim 0 cannot contain row 1.
+        for r in 0..2u16 {
+            let cube = Cube::new([(0, r)]).unwrap();
+            assert!(!index.rows(&cube).contains(&1));
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let (disc, index) = small_grid();
+        assert_eq!(index.n_rows(), disc.n_rows());
+        assert_eq!(index.n_dims(), 2);
+        assert_eq!(index.phi(), 4);
+        assert!(index.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn bad_dim_panics() {
+        let (_, index) = small_grid();
+        index.posting(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn bad_range_panics() {
+        let (_, index) = small_grid();
+        index.posting(0, 9);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Counting substrate for the Aggarwal–Yu subspace outlier detector.
+//!
+//! Every fitness evaluation in the search — brute-force or evolutionary —
+//! asks one question: *how many records fall in this k-dimensional cube?*
+//! This crate answers it three ways:
+//!
+//! - [`bitmap`]: a packed bitset over `u64` words with multi-way
+//!   intersection + popcount.
+//! - [`grid`]: a [`grid::GridIndex`] holding one posting bitmap per
+//!   `(dimension, range)` pair; a cube's occupancy is the popcount of the
+//!   intersection of its k postings — `O(k · N / 64)` per cube instead of
+//!   the naive `O(k · N)` row scan.
+//! - [`counter`]: the [`counter::CubeCounter`] abstraction with a naive
+//!   scanning implementation (used to cross-check the bitmaps in tests and
+//!   in the ablation bench) and a memoizing wrapper for search algorithms
+//!   that revisit cubes.
+
+pub mod bitmap;
+pub mod counter;
+pub mod cube;
+pub mod grid;
+
+pub use bitmap::Bitmap;
+pub use counter::{BitmapCounter, CachedCounter, CubeCounter, NaiveCounter};
+pub use cube::Cube;
+pub use grid::GridIndex;

@@ -1,0 +1,140 @@
+//! Property-based tests: the bitmap counter must agree with the naive scan
+//! on arbitrary data, including missing values, and bitmap algebra must
+//! match a reference set implementation.
+
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::Dataset;
+use hdoutlier_index::{Bitmap, BitmapCounter, CachedCounter, Cube, CubeCounter, NaiveCounter};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn dataset_with_missing() -> impl Strategy<Value = Dataset> {
+    (2usize..60, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(
+            prop_oneof![
+                8 => (-100f64..100.0).prop_map(Some),
+                1 => Just(None),
+            ],
+            n * d,
+        )
+        .prop_map(move |vals| {
+            let values: Vec<f64> = vals.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+            Dataset::new(values, n, d).unwrap()
+        })
+    })
+}
+
+fn arbitrary_cube(n_dims: usize, phi: u32) -> impl Strategy<Value = Cube> {
+    proptest::sample::subsequence((0..n_dims as u32).collect::<Vec<_>>(), 1..=n_dims.min(4))
+        .prop_flat_map(move |dims| {
+            let k = dims.len();
+            proptest::collection::vec(0..phi as u16, k).prop_map(move |ranges| {
+                Cube::new(dims.iter().copied().zip(ranges.iter().copied())).unwrap()
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn bitmap_counter_matches_naive(
+        ds in dataset_with_missing(),
+        phi in 1u32..8,
+        seed_cube in any::<u64>(),
+    ) {
+        let disc = Discretized::new(&ds, phi, DiscretizeStrategy::EquiDepth).unwrap();
+        let bitmap = BitmapCounter::new(&disc);
+        let naive = NaiveCounter::new(&disc);
+        // Derive a handful of cubes deterministically from seed_cube.
+        let mut s = seed_cube;
+        for _ in 0..10 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d0 = (s >> 8) as usize % ds.n_dims();
+            let r0 = ((s >> 24) as u32 % phi) as u16;
+            let d1 = (s >> 40) as usize % ds.n_dims();
+            let r1 = ((s >> 52) as u32 % phi) as u16;
+            let pairs = if d0 == d1 {
+                vec![(d0 as u32, r0)]
+            } else {
+                vec![(d0 as u32, r0), (d1 as u32, r1)]
+            };
+            let cube = Cube::new(pairs).unwrap();
+            prop_assert_eq!(bitmap.count(&cube), naive.count(&cube));
+            prop_assert_eq!(bitmap.rows(&cube), naive.rows(&cube));
+        }
+    }
+
+    #[test]
+    fn cached_counter_is_transparent(
+        ds in dataset_with_missing(),
+        phi in 1u32..6,
+    ) {
+        let disc = Discretized::new(&ds, phi, DiscretizeStrategy::EquiDepth).unwrap();
+        let naive = NaiveCounter::new(&disc);
+        let cached = CachedCounter::new(BitmapCounter::new(&disc));
+        let cube = Cube::new([(0, 0)]).unwrap();
+        for _ in 0..3 {
+            prop_assert_eq!(cached.count(&cube), naive.count(&cube));
+        }
+    }
+
+    #[test]
+    fn cube_strategy_products_are_valid(
+        cube in arbitrary_cube(5, 4),
+    ) {
+        prop_assert!(cube.k() >= 1);
+        let dims = cube.dims();
+        for w in dims.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for (_, r) in cube.pairs() {
+            prop_assert!(r < 4);
+        }
+    }
+
+    #[test]
+    fn bitmap_matches_btreeset(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..128, 0..40),
+            1..4,
+        ),
+    ) {
+        let maps: Vec<Bitmap> = sets
+            .iter()
+            .map(|s| {
+                let mut b = Bitmap::new(128);
+                for &i in s {
+                    b.set(i);
+                }
+                b
+            })
+            .collect();
+        let refs: Vec<&Bitmap> = maps.iter().collect();
+        let want: BTreeSet<usize> = sets
+            .iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        prop_assert_eq!(Bitmap::intersection_count(&refs), want.len());
+        prop_assert_eq!(
+            Bitmap::intersection_members(&refs),
+            want.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bitmap_iter_ones_round_trip(bits in proptest::collection::btree_set(0usize..200, 0..50)) {
+        let mut b = Bitmap::new(200);
+        for &i in &bits {
+            b.set(i);
+        }
+        prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), bits.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(b.count(), bits.len());
+    }
+
+    #[test]
+    fn projection_string_round_trip_shape(cube in arbitrary_cube(6, 9)) {
+        let s = cube.to_projection_string(6);
+        prop_assert_eq!(s.chars().count(), 6);
+        let stars = s.chars().filter(|&c| c == '*').count();
+        prop_assert_eq!(stars, 6 - cube.k());
+    }
+}

@@ -1,0 +1,432 @@
+//! The binomial distribution.
+//!
+//! Under the paper's uniformity assumption (§1.3), the occupancy of a
+//! k-dimensional cube is `Binomial(N, f^k)` with `f = 1/φ`. Eq. 1 replaces it
+//! with a normal via the central limit theorem; this module provides the
+//! *exact* distribution so the library can report honest tail probabilities
+//! when `N·f^k` is small (exactly the regime §2.4 worries about), and so the
+//! quality of the CLT approximation can be tested rather than assumed.
+
+use crate::gamma::{gamma_p, gamma_q, ln_choose};
+use crate::normal::Normal;
+
+/// A binomial distribution `Binomial(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution with `n` trials and success
+    /// probability `p`.
+    ///
+    /// Returns `None` unless `0 <= p <= 1`.
+    pub fn new(n: u64, p: f64) -> Option<Self> {
+        if (0.0..=1.0).contains(&p) {
+            Some(Self { n, p })
+        } else {
+            None
+        }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Distribution mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Distribution variance `n·p·(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Natural log of the probability mass `ln P[X = k]`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln_1p_safe()
+    }
+
+    /// Probability mass `P[X = k]`.
+    ///
+    /// ```
+    /// use hdoutlier_stats::Binomial;
+    /// let b = Binomial::new(10, 0.5).unwrap();
+    /// assert!((b.pmf(5) - 252.0 / 1024.0).abs() < 1e-12);
+    /// ```
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Lower tail `P[X <= k]`, exact through the regularized incomplete beta
+    /// function identity `P[X <= k] = I_{1-p}(n-k, k+1)`.
+    ///
+    /// The incomplete beta is evaluated by continued fraction through the
+    /// incomplete gamma machinery when one shape parameter is an integer,
+    /// which it always is here; for robustness the implementation simply sums
+    /// the PMF when `n` is small and uses the identity via [`beta_cdf`]
+    /// otherwise.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        // Sum from the smaller side for accuracy and speed.
+        if k as f64 <= self.mean() {
+            // Direct sum of at most k+1 terms.
+            let mut acc = 0.0;
+            for i in 0..=k {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            let mut acc = 0.0;
+            for i in (k + 1)..=self.n {
+                acc += self.pmf(i);
+            }
+            (1.0 - acc).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Upper tail `P[X > k]`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if k as f64 >= self.mean() {
+            let mut acc = 0.0;
+            for i in (k + 1)..=self.n {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            (1.0 - self.cdf(k)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The normal approximation `N(np, np(1-p))` the paper's Eq. 1 uses.
+    ///
+    /// Returns `None` when the variance is zero (`p` in `{0, 1}` or `n = 0`).
+    pub fn normal_approximation(&self) -> Option<Normal> {
+        Normal::new(self.mean(), self.sd())
+    }
+
+    /// Lower tail with continuity correction under the CLT approximation,
+    /// `Φ((k + 1/2 - np) / sqrt(np(1-p)))`.
+    pub fn cdf_normal_approx(&self, k: u64) -> Option<f64> {
+        self.normal_approximation().map(|n| n.cdf(k as f64 + 0.5))
+    }
+
+    /// Worst absolute CDF error of the normal approximation over all `k`,
+    /// i.e. the Kolmogorov distance between the exact and the CLT law.
+    ///
+    /// Used by the test-suite and by `repro params` to show where Eq. 1's
+    /// approximation is trustworthy. Costs `O(n)`; intended for analysis, not
+    /// hot paths.
+    pub fn clt_kolmogorov_distance(&self) -> f64 {
+        let mut worst = 0.0f64;
+        match self.normal_approximation() {
+            None => {
+                // Degenerate: exact law is a point mass; CLT is undefined.
+                f64::NAN
+            }
+            Some(approx) => {
+                let mut exact = 0.0;
+                for k in 0..=self.n {
+                    exact += self.pmf(k);
+                    let e = (exact.min(1.0) - approx.cdf(k as f64 + 0.5)).abs();
+                    worst = worst.max(e);
+                }
+                worst
+            }
+        }
+    }
+}
+
+/// Regularized incomplete beta `I_x(a, b)` for the record — exposed because
+/// `Binomial::cdf` is its discrete twin (`P[X <= k] = I_{1-p}(n-k, k+1)`) and
+/// downstream crates may want the continuous version.
+///
+/// Evaluated by the continued fraction of Numerical Recipes' `betai`.
+pub fn beta_cdf(a: f64, b: f64, x: f64) -> f64 {
+    if a.is_nan() || a <= 0.0 || b.is_nan() || b <= 0.0 || x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        crate::gamma::ln_gamma(a + b) - crate::gamma::ln_gamma(a) - crate::gamma::ln_gamma(b)
+            + a * x.ln()
+            + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Poisson lower/upper tails, the other classical approximation to sparse
+/// cube occupancy (`Binomial(N, f^k) → Poisson(N·f^k)` as `f^k → 0`).
+///
+/// `P[X <= k] = Q(k+1, λ)` via the incomplete gamma.
+pub fn poisson_cdf(lambda: f64, k: u64) -> f64 {
+    if lambda.is_nan() || lambda < 0.0 {
+        return f64::NAN;
+    }
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    gamma_q(k as f64 + 1.0, lambda)
+}
+
+/// Poisson upper tail `P[X > k] = P(k+1, λ)`.
+pub fn poisson_sf(lambda: f64, k: u64) -> f64 {
+    if lambda.is_nan() || lambda < 0.0 {
+        return f64::NAN;
+    }
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    gamma_p(k as f64 + 1.0, lambda)
+}
+
+/// Small extension trait so `ln(1-p)` is written once, correctly, for `p`
+/// close to zero.
+trait Ln1pSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl Ln1pSafe for f64 {
+    /// `self` is already `1 - p`; take its log but route tiny `p` through
+    /// `ln_1p` for precision. `self = 1 - p  ⇒  ln(self) = ln_1p(-p)`.
+    fn ln_1p_safe(self) -> f64 {
+        let p = 1.0 - self;
+        (-p).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (100, 0.01), (7, 0.99)] {
+            let b = Binomial::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "sum for ({n},{p}) = {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Binomial(10, 0.5): P[X=5] = 252/1024.
+        let b = Binomial::new(10, 0.5).unwrap();
+        assert!((b.pmf(5) - 252.0 / 1024.0).abs() < 1e-13);
+        // Binomial(4, 0.25): P[X=0] = (3/4)^4.
+        let b = Binomial::new(4, 0.25).unwrap();
+        assert!((b.pmf(0) - 0.75f64.powi(4)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let b = Binomial::new(50, 0.2).unwrap();
+        for k in 0..50 {
+            let s = b.cdf(k) + b.sf(k);
+            assert!((s - 1.0).abs() < 1e-11, "cdf+sf at k={k} = {s}");
+        }
+        assert_eq!(b.cdf(50), 1.0);
+        assert_eq!(b.sf(50), 0.0);
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let b = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b.pmf(0), 1.0);
+        assert_eq!(b.pmf(1), 0.0);
+        assert_eq!(b.cdf(0), 1.0);
+        let b = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b.pmf(5), 1.0);
+        assert_eq!(b.cdf(4), 0.0);
+        assert_eq!(b.sf(4), 1.0);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(Binomial::new(5, -0.1).is_none());
+        assert!(Binomial::new(5, 1.1).is_none());
+        assert!(Binomial::new(5, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(40, 0.25).unwrap();
+        assert_eq!(b.mean(), 10.0);
+        assert_eq!(b.variance(), 7.5);
+    }
+
+    #[test]
+    fn matches_incomplete_beta_identity() {
+        // P[X <= k] = I_{1-p}(n-k, k+1).
+        for &(n, p, k) in &[(20u64, 0.3, 4u64), (12, 0.5, 6), (100, 0.05, 2)] {
+            let b = Binomial::new(n, p).unwrap();
+            let via_beta = beta_cdf((n - k) as f64, k as f64 + 1.0, 1.0 - p);
+            assert!(
+                (b.cdf(k) - via_beta).abs() < 1e-10,
+                "({n},{p},{k}): cdf {} vs beta {via_beta}",
+                b.cdf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn clt_quality_improves_with_n() {
+        // The CLT error should shrink roughly like 1/sqrt(n·p·(1-p)).
+        let small = Binomial::new(10, 0.5).unwrap().clt_kolmogorov_distance();
+        let large = Binomial::new(1000, 0.5).unwrap().clt_kolmogorov_distance();
+        assert!(large < small / 5.0, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn clt_is_bad_in_the_sparse_regime() {
+        // The very phenomenon paper §2.4 warns about: with N·f^k ≈ 0.1 the
+        // CLT's *tail* probabilities are off by orders of magnitude even
+        // though the continuity-corrected Kolmogorov distance looks small.
+        // Exact P[X >= 3] ≈ 1.5e-4; the normal approximation says Φ̄(7.6) ≈ 1e-14.
+        let b = Binomial::new(1000, 0.0001).unwrap();
+        let exact_tail = b.sf(2);
+        let approx_tail = b.normal_approximation().unwrap().sf(2.5);
+        assert!(exact_tail > 1e-4);
+        assert!(
+            approx_tail < exact_tail / 1e6,
+            "approx {approx_tail} vs exact {exact_tail}"
+        );
+    }
+
+    #[test]
+    fn poisson_limit_of_binomial() {
+        // Binomial(n, λ/n) → Poisson(λ).
+        let lambda = 2.5;
+        let n = 100_000u64;
+        let b = Binomial::new(n, lambda / n as f64).unwrap();
+        for k in 0..10 {
+            let exact = b.cdf(k);
+            let pois = poisson_cdf(lambda, k);
+            assert!(
+                (exact - pois).abs() < 1e-4,
+                "k={k}: binomial {exact}, poisson {pois}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_edge_cases() {
+        assert_eq!(poisson_cdf(0.0, 3), 1.0);
+        assert_eq!(poisson_sf(0.0, 3), 0.0);
+        assert!(poisson_cdf(-1.0, 3).is_nan());
+        for k in 0..20 {
+            let s = poisson_cdf(3.7, k) + poisson_sf(3.7, k);
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_cdf_edges_and_symmetry() {
+        assert_eq!(beta_cdf(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_cdf(2.0, 3.0, 1.0), 1.0);
+        assert!(beta_cdf(-1.0, 3.0, 0.5).is_nan());
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 2.0, 0.9)] {
+            let lhs = beta_cdf(a, b, x);
+            let rhs = 1.0 - beta_cdf(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "({a},{b},{x})");
+        }
+        // I_x(1/2, 1/2) = 2/π·asin(sqrt(x)) (arcsine law).
+        let x: f64 = 0.42;
+        let want = 2.0 / std::f64::consts::PI * x.sqrt().asin();
+        assert!((beta_cdf(0.5, 0.5, x) - want).abs() < 1e-12);
+    }
+}

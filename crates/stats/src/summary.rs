@@ -1,0 +1,354 @@
+//! Streaming descriptive statistics and quantiles.
+//!
+//! The equi-depth discretizer needs sample quantiles; the benchmark harness
+//! needs means/standard deviations of timings and sparsity qualities; both
+//! live here. The running accumulator uses Welford's algorithm so a single
+//! pass is numerically stable regardless of the magnitude of the data.
+
+/// Single-pass accumulator for count / mean / variance / min / max.
+///
+/// NaN observations are counted separately and excluded from the moments, so
+/// datasets with missing values (encoded as NaN) can be summarized directly.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    count: u64,
+    nan_count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            nan_count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. NaN is tallied but excluded from the moments.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of non-NaN observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of NaN observations pushed.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
+    }
+
+    /// Sample mean, or `None` if no finite observation was pushed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance (n − 1 denominator); `None` for fewer than
+    /// two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population variance (n denominator); `None` if empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford, Chan et al.).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            self.nan_count += other.nan_count;
+            return;
+        }
+        if self.count == 0 {
+            let nan = self.nan_count;
+            *self = other.clone();
+            self.nan_count += nan;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.nan_count += other.nan_count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    /// Builds an accumulator from an iterator of observations.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+/// Sample quantile with linear interpolation (R type-7, the default of R,
+/// NumPy and Julia): for sorted data `x[0..n]` and probability `p`,
+/// `h = (n − 1)·p`, result `x[⌊h⌋] + (h − ⌊h⌋)·(x[⌊h⌋+1] − x[⌊h⌋])`.
+///
+/// `values` need not be sorted; NaNs are filtered out. Returns `None` when no
+/// finite value remains or `p` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&p) {
+        return None;
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    Some(quantile_sorted(&v, p))
+}
+
+/// [`quantile`] on data that is already sorted and NaN-free.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Equi-depth cut points dividing sorted data into `phi` ranges of (as near
+/// as possible) equal record count: returns the `phi − 1` interior
+/// boundaries `q(1/φ), q(2/φ), …, q((φ−1)/φ)`.
+///
+/// Repeated values can make boundaries coincide; callers that need strictly
+/// increasing boundaries must handle ties (the discretizer in
+/// `hdoutlier-data` does, by rank-splitting).
+pub fn equi_depth_cuts(values: &[f64], phi: u32) -> Option<Vec<f64>> {
+    if phi < 1 {
+        return None;
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    Some(
+        (1..phi)
+            .map(|i| quantile_sorted(&v, i as f64 / phi as f64))
+            .collect(),
+    )
+}
+
+/// A simple equal-width histogram over `[lo, hi]` used by generators'
+/// self-checks and the benchmark harness's reporting.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    outside: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// Returns `None` for a degenerate range or zero bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if lo.is_nan() || hi.is_nan() || lo >= hi || bins == 0 {
+            return None;
+        }
+        Some(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outside: 0,
+        })
+    }
+
+    /// Adds an observation; values outside `[lo, hi]` (or NaN) are tallied in
+    /// `outside`.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo || x > self.hi {
+            self.outside += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((x - self.lo) / w) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // x == hi lands in the last bin
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside the range (or were NaN).
+    pub fn outside(&self) -> u64 {
+        self.outside
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basic_moments() {
+        let acc = Accumulator::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((acc.population_variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((acc.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(2.0));
+        assert_eq!(acc.max(), Some(9.0));
+    }
+
+    #[test]
+    fn accumulator_empty_and_single() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.min(), None);
+        let acc = Accumulator::from_iter([3.5]);
+        assert_eq!(acc.mean(), Some(3.5));
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.population_variance(), Some(0.0));
+    }
+
+    #[test]
+    fn accumulator_skips_nan() {
+        let acc = Accumulator::from_iter([1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.nan_count(), 2);
+        assert_eq!(acc.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn accumulator_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut a = Accumulator::from_iter(data[..40].iter().copied());
+        let b = Accumulator::from_iter(data[40..].iter().copied());
+        a.merge(&b);
+        let whole = Accumulator::from_iter(data.iter().copied());
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        let b = Accumulator::from_iter([1.0, 2.0]);
+        a.merge(&b);
+        assert_eq!(a.mean(), Some(1.5));
+        let mut c = Accumulator::from_iter([5.0]);
+        c.merge(&Accumulator::new());
+        assert_eq!(c.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_type7_reference() {
+        // R: quantile(c(1,2,3,4), c(0, .25, .5, .75, 1)) = 1, 1.75, 2.5, 3.25, 4.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.25), Some(1.75));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&v, 0.75), Some(3.25));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_unsorted_and_nan() {
+        let v = [9.0, f64::NAN, 1.0, 5.0];
+        assert_eq!(quantile(&v, 0.5), Some(5.0));
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 2.0), None);
+        assert_eq!(quantile(&[1.0], -0.5), None);
+    }
+
+    #[test]
+    fn equi_depth_cuts_uniform_grid() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let cuts = equi_depth_cuts(&v, 4).unwrap();
+        assert_eq!(cuts, vec![25.0, 50.0, 75.0]);
+        // phi = 1 gives no interior cuts.
+        assert_eq!(equi_depth_cuts(&v, 1).unwrap(), Vec::<f64>::new());
+        assert_eq!(equi_depth_cuts(&[], 4), None);
+        assert_eq!(equi_depth_cuts(&v, 0), None);
+    }
+
+    #[test]
+    fn equi_depth_cuts_are_nondecreasing() {
+        let v = [3.0, 3.0, 3.0, 1.0, 9.0, 9.0, 2.0, 2.0];
+        let cuts = equi_depth_cuts(&v, 5).unwrap();
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 10.1, f64::NAN] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]); // 10.0 lands in last bin
+        assert_eq!(h.outside(), 3);
+        assert_eq!(h.total(), 5);
+        assert!(Histogram::new(1.0, 1.0, 5).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+    }
+}

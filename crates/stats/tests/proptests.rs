@@ -1,0 +1,172 @@
+//! Property-based tests for the numeric substrate.
+
+use hdoutlier_stats::binomial::Binomial;
+use hdoutlier_stats::erf::{erf, erfc};
+use hdoutlier_stats::gamma::{gamma_p, gamma_q};
+use hdoutlier_stats::normal::{standard_cdf, standard_quantile};
+use hdoutlier_stats::rank::{argsort, average_ranks, bottom_m, ranks, BoundedBest};
+use hdoutlier_stats::summary::{quantile, Accumulator};
+use hdoutlier_stats::SparsityParams;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_is_odd(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_bounded(x in proptest::num::f64::NORMAL) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn gamma_p_q_partition_unity(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip(p in 1e-6f64..0.999_999) {
+        let z = standard_quantile(p);
+        prop_assert!((standard_cdf(z) - p).abs() < 1e-11);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(standard_cdf(lo) <= standard_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn binomial_pmf_nonnegative_and_cdf_monotone(n in 1u64..200, p in 0.0f64..1.0) {
+        let b = Binomial::new(n, p).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=n {
+            prop_assert!(b.pmf(k) >= 0.0);
+            let c = b.cdf(k);
+            prop_assert!(c + 1e-12 >= prev, "cdf decreased at k={k}");
+            prev = c;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_monotone_in_count(
+        n in 10u64..1_000_000,
+        phi in 2u32..20,
+        k in 1u32..5,
+        c1 in 0u64..1000,
+        c2 in 0u64..1000,
+    ) {
+        let p = SparsityParams::new(n, phi, k).unwrap();
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(p.sparsity(lo) <= p.sparsity(hi));
+    }
+
+    #[test]
+    fn sparsity_zero_at_expected_count(n in 100u64..1_000_000, phi in 2u32..12, k in 1u32..4) {
+        let p = SparsityParams::new(n, phi, k).unwrap();
+        // Coefficient straddles zero around the expected count.
+        let e = p.expected_count();
+        prop_assert!(p.sparsity(e.floor() as u64) <= 1e-9 + p.sparsity(e.ceil() as u64));
+        prop_assert!(p.sparsity(e.floor() as u64) <= 0.0 + 1e-9);
+        prop_assert!(p.sparsity(e.ceil() as u64) >= 0.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_cube_matches_sparsity_at_zero(n in 10u64..100_000, phi in 2u32..12, k in 1u32..5) {
+        let p = SparsityParams::new(n, phi, k).unwrap();
+        prop_assert!((p.sparsity(0) - p.empty_cube_sparsity()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn argsort_sorts(values in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+        let order = argsort(&values);
+        for w in order.windows(2) {
+            prop_assert!(values[w[0]] <= values[w[1]]);
+        }
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..values.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranks_inverse_of_argsort(values in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let r = ranks(&values);
+        let order = argsort(&values);
+        for (rank, &i) in order.iter().enumerate() {
+            prop_assert_eq!(r[i], rank);
+        }
+    }
+
+    #[test]
+    fn average_ranks_sum_invariant(values in proptest::collection::vec(-50f64..50.0, 1..60)) {
+        let r = average_ranks(&values);
+        let n = values.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_best_equals_naive_topm(
+        scores in proptest::collection::vec(-1e3f64..1e3, 0..80),
+        m in 0usize..20,
+    ) {
+        let mut best = BoundedBest::new(m);
+        for (i, &s) in scores.iter().enumerate() {
+            best.push(s, i);
+        }
+        let got: Vec<f64> = best.into_sorted().into_iter().map(|(s, _)| s).collect();
+        let mut want = scores.clone();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(m);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g, w);
+        }
+    }
+
+    #[test]
+    fn bottom_m_agrees_with_sort(values in proptest::collection::vec(-1e3f64..1e3, 0..60), m in 0usize..10) {
+        let idx = bottom_m(&values, m);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (j, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(values[i], sorted[j]);
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass(values in proptest::collection::vec(-1e4f64..1e4, 2..200)) {
+        let acc = Accumulator::from_iter(values.iter().copied());
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((acc.mean().unwrap() - mean).abs() < 1e-7 * mean.abs().max(1.0));
+        prop_assert!((acc.variance().unwrap() - var).abs() < 1e-6 * var.max(1.0));
+    }
+
+    #[test]
+    fn quantile_within_range(values in proptest::collection::vec(-1e3f64..1e3, 1..100), p in 0.0f64..=1.0) {
+        let q = quantile(&values, p).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+    }
+
+    #[test]
+    fn quantile_monotone_in_p(values in proptest::collection::vec(-1e3f64..1e3, 1..60), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&values, lo).unwrap() <= quantile(&values, hi).unwrap() + 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! §2.4 in practice: choosing φ and k with the paper's rules, and seeing
+//! why the choice matters.
+//!
+//! For a dataset of N records, `k* = ⌊log_φ(N/s² + 1)⌋` is the *largest*
+//! projection dimensionality at which an empty cube is still `|s|` standard
+//! deviations below its expectation — past it, "the effects of high
+//! dimensionality result in sparse projections by default".
+//!
+//! ```text
+//! cargo run --release --example parameter_selection
+//! ```
+
+use hdoutlier::core::params::{advise, suggest_phi};
+use hdoutlier::prelude::*;
+
+fn main() {
+    println!("advisor output (target sparsity -3):\n");
+    println!(
+        "{:>9}  {:>3}  {:>2}  {:>14}",
+        "N", "phi", "k*", "S(empty cube)"
+    );
+    for n in [100u64, 452, 1_000, 5_000, 10_000, 100_000, 1_000_000] {
+        let a = advise(n, -3.0);
+        println!(
+            "{n:>9}  {:>3}  {:>2}  {:>14.2}",
+            a.phi, a.k, a.empty_cube_sparsity
+        );
+    }
+
+    // What goes wrong past k*: the paper's own example — fewer than 10,000
+    // points with phi = 10 cannot support 4-dimensional projections, because
+    // even a cube holding a single point is no longer significantly sparse.
+    println!("\nthe k > k* failure mode (N = 10,000, phi = 10):");
+    for k in 1..=5u32 {
+        let expected = 10_000.0 / 10f64.powi(k as i32);
+        let s_one = sparsity_coefficient(1, 10_000, 10, k);
+        let s_empty = empty_cube_coefficient(10_000, 10, k);
+        println!(
+            "  k = {k}: E[occupancy] = {expected:>8.2}, S(1 point) = {s_one:>6.2}, \
+             S(empty) = {s_empty:>6.2}{}",
+            if Some(k) == recommended_k(10_000, 10, -3.0) {
+                "   <- k*"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // Significance: translating a coefficient into the normal-table reading
+    // of §1.3 / §2.4 ("a choice of sparsity coefficient of -3 would result
+    // in 99.9% level of significance").
+    println!("\nsignificance of sparsity coefficients:");
+    for s in [-1.0f64, -2.0, -3.0, -4.0, -5.0] {
+        println!(
+            "  S = {s:>4.1}  ->  P[at least this sparse | uniform data] = {:.2e}",
+            significance_of(s)
+        );
+    }
+
+    // The phi heuristic trades locality resolution against range mass.
+    println!(
+        "\nphi heuristic: N=50 -> {}, N=250 -> {}, N=10^6 -> {}",
+        suggest_phi(50),
+        suggest_phi(250),
+        suggest_phi(1_000_000)
+    );
+}
