@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass offline on a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

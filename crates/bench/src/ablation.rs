@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn equi_depth_beats_equi_width_on_skewed_data() {
-        let results = grid_ablation(3);
+        let results = grid_ablation(11);
         let depth = &results[0];
         let width = &results[1];
         assert!(

@@ -1,0 +1,111 @@
+//! Streaming-throughput bench: records/second through each stage of the
+//! streaming layer, std-only (no criterion needed).
+//!
+//! ```text
+//! cargo run -p hdoutlier-bench --release --bin stream_throughput -- [n_rows] [n_dims]
+//! ```
+//!
+//! Stages measured independently, then end-to-end:
+//! - sketch: `StreamingDiscretizer::observe` (per-dimension GK inserts)
+//! - window: `WindowCounter::push` (insert + evict postings maintenance)
+//! - score:  `OnlineScorer::score_record` (grid assign + projection match
+//!   + drift accounting)
+
+use hdoutlier_core::{OutlierDetector, SearchMethod};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_stream::{OnlineScorer, StreamingDiscretizer, WindowCounter};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_rows: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let n_dims: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let phi = 5u32;
+    let window = 10_000usize;
+
+    println!("streaming throughput: {n_rows} rows x {n_dims} dims, phi={phi}, window={window}");
+
+    // Train a model on a planted batch, then replay the batch as a stream
+    // (cycling so n_rows is independent of the training size).
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 20_000,
+        n_dims,
+        n_outliers: 20,
+        strong_groups: Some(3),
+        seed: 2001,
+        ..PlantedConfig::default()
+    });
+    let ds = &planted.dataset;
+    let model = OutlierDetector::builder()
+        .phi(phi)
+        .k(2)
+        .m(10)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(ds)
+        .expect("fit");
+
+    let row = |i: usize| ds.row(i % ds.n_rows());
+
+    // Stage 1: quantile sketches.
+    let mut disc = StreamingDiscretizer::new(n_dims, phi, 0.01).expect("discretizer");
+    let t = Instant::now();
+    for i in 0..n_rows {
+        disc.observe(row(i)).expect("observe");
+    }
+    report("sketch.observe", n_rows, t.elapsed());
+    let spec = disc.grid_spec().expect("grid");
+
+    // Stage 2: sliding-window counting (push only; queries are the batch
+    // engines' job and already benched).
+    let mut counter = WindowCounter::new(window, n_dims, phi).expect("window");
+    let cells: Vec<Vec<u16>> = (0..ds.n_rows())
+        .map(|i| spec.assign_row(ds.row(i)).expect("assign"))
+        .collect();
+    let t = Instant::now();
+    for i in 0..n_rows {
+        counter.push(&cells[i % cells.len()]).expect("push");
+    }
+    report("window.push", n_rows, t.elapsed());
+
+    // Stage 3: online scoring.
+    let mut scorer = OnlineScorer::new(model).expect("scorer");
+    let t = Instant::now();
+    let mut outliers = 0usize;
+    for i in 0..n_rows {
+        if scorer.score_record(row(i)).expect("score").outlier {
+            outliers += 1;
+        }
+    }
+    report("scorer.score_record", n_rows, t.elapsed());
+    println!("  ({outliers} outliers flagged)");
+
+    // End-to-end: what the `hdoutlier stream` hot loop does per record,
+    // plus keeping the sketches warm for an eventual re-fit.
+    let mut disc = StreamingDiscretizer::new(n_dims, phi, 0.01).expect("discretizer");
+    let mut counter = WindowCounter::new(window, n_dims, phi).expect("window");
+    let t = Instant::now();
+    for i in 0..n_rows {
+        let r = row(i);
+        disc.observe(r).expect("observe");
+        let v = scorer.score_record(r).expect("score");
+        counter.push(&v.cells).expect("push");
+    }
+    report("end-to-end", n_rows, t.elapsed());
+    println!(
+        "  (sketch summary sizes: {:?})",
+        (0..n_dims.min(4))
+            .map(|d| disc.sketch(d).summary_size())
+            .collect::<Vec<_>>()
+    );
+}
+
+fn report(stage: &str, n: usize, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "{stage:>20}: {:>8.0} records/s ({:.2} s total, {:.2} us/record)",
+        n as f64 / secs,
+        secs,
+        secs * 1e6 / n as f64
+    );
+}

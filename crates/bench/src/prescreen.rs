@@ -18,8 +18,8 @@
 
 use hdoutlier_core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier_data::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 /// A ridge least-squares classifier: `w = (XᵀX + λI)⁻¹ Xᵀ y` over features
 /// plus a bias column, with targets `y ∈ {−1, +1}`; prediction is the sign

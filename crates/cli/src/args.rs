@@ -2,8 +2,8 @@
 //!
 //! Supports `--flag value`, `--flag=value`, boolean `--flag`, and positional
 //! arguments, with typed getters that produce readable error messages. This
-//! is deliberately minimal: the workspace policy is no external dependencies
-//! beyond `rand`/`proptest`/`criterion`, and the CLI's needs are simple.
+//! is deliberately minimal: the workspace builds hermetically with no
+//! external dependencies, and the CLI's needs are simple.
 
 use std::collections::HashMap;
 use std::fmt;

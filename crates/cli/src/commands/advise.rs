@@ -3,7 +3,7 @@
 use super::parse_or_usage;
 use crate::args::Spec;
 use crate::exit;
-use crate::json::Json;
+use crate::json::{FieldChain, Json};
 use hdoutlier_core::params::advise;
 use hdoutlier_stats::{significance_of, sparsity_coefficient};
 
@@ -64,7 +64,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
                 "empty_cube_significance",
                 significance_of(advice.empty_cube_sparsity),
             );
-        return (exit::OK, j.pretty() + "\n");
+        return match j {
+            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Err(e) => (exit::RUNTIME, format!("failed to render advice: {e}")),
+        };
     }
     let mut out = format!(
         "for N = {n} records (target sparsity {target}):\n\

@@ -4,7 +4,7 @@
 use super::{load_dataset, parse_or_usage, usage_err};
 use crate::args::Spec;
 use crate::exit;
-use crate::json::Json;
+use crate::json::{FieldChain, Json};
 use hdoutlier_baselines::{
     knorr_ng_outliers, lof::lof_top_n, ramaswamy_top_n, suggest_lambda, Metric,
 };
@@ -154,14 +154,19 @@ pub fn run(argv: &[String]) -> (i32, String) {
     };
 
     if parsed.has("json") {
-        let items: Vec<Json> = ranked
+        let j = ranked
             .iter()
             .map(|&(row, score)| Json::object().field("row", row).field("score", score))
-            .collect();
-        let j = Json::object()
-            .field("method", method)
-            .field("outliers", Json::Array(items));
-        return (exit::OK, j.pretty() + "\n");
+            .collect::<Result<Vec<Json>, _>>()
+            .and_then(|items| {
+                Json::object()
+                    .field("method", method)
+                    .field("outliers", Json::Array(items))
+            });
+        return match j {
+            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Err(e) => (exit::RUNTIME, format!("failed to render ranking: {e}")),
+        };
     }
     let mut out = format!("{method}: {} outlier(s)\n", ranked.len());
     for (row, score) in &ranked {

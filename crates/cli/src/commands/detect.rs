@@ -3,7 +3,7 @@
 use super::{load_dataset, parse_or_usage, usage_err};
 use crate::args::Spec;
 use crate::exit;
-use crate::json::Json;
+use crate::json::{FieldChain, Json, JsonError};
 use hdoutlier_core::crossover::CrossoverKind;
 use hdoutlier_core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier_core::params::advise;
@@ -148,8 +148,11 @@ pub fn run(argv: &[String]) -> (i32, String) {
             hdoutlier_data::GridSpec::from_discretized(&disc),
             report.projections.clone(),
         );
-        let text = crate::model_io::to_json(&model).pretty() + "\n";
-        if let Err(e) = std::fs::write(path, text) {
+        let json = match crate::model_io::to_json(&model) {
+            Ok(json) => json,
+            Err(e) => return (exit::RUNTIME, format!("failed to serialize model: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json.pretty() + "\n") {
             return (exit::RUNTIME, format!("failed to write model {path}: {e}"));
         }
     }
@@ -159,7 +162,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
         return (exit::OK, rows.join("\n") + "\n");
     }
     if parsed.has("json") {
-        return (exit::OK, render_json(&report, &disc).pretty() + "\n");
+        return match render_json(&report, &disc) {
+            Ok(json) => (exit::OK, json.pretty() + "\n"),
+            Err(e) => (exit::RUNTIME, format!("failed to render report: {e}")),
+        };
     }
     (exit::OK, render_text(&report, &disc))
 }
@@ -182,7 +188,10 @@ fn render_text(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> St
     out
 }
 
-fn render_json(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> Json {
+fn render_json(
+    report: &hdoutlier_core::OutlierReport,
+    disc: &Discretized,
+) -> Result<Json, JsonError> {
     let projections: Vec<Json> = report
         .projections
         .iter()
@@ -197,7 +206,7 @@ fn render_json(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> Js
                 .field("explanation", report.explain(i, disc))
                 .field("rows", rows.clone())
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     Json::object()
         .field("projections", Json::Array(projections))
         .field("outlier_rows", report.outlier_rows.clone())
@@ -207,7 +216,7 @@ fn render_json(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> Js
                 .field("work", report.stats.work)
                 .field("generations", report.stats.generations)
                 .field("completed", report.stats.completed)
-                .field("elapsed_ms", report.stats.elapsed.as_secs_f64() * 1e3),
+                .field("elapsed_ms", report.stats.elapsed.as_secs_f64() * 1e3)?,
         )
 }
 

@@ -4,7 +4,7 @@
 use super::{load_dataset, parse_or_usage, usage_err};
 use crate::args::Spec;
 use crate::exit;
-use crate::json::Json;
+use crate::json::{FieldChain, Json};
 use hdoutlier_core::drill::record_profile;
 use hdoutlier_core::params::advise;
 use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
@@ -97,7 +97,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
     let profile = record_profile(&counter, &disc, row, &ks);
 
     if parsed.has("json") {
-        let items: Vec<Json> = profile
+        let j = profile
             .iter()
             .take(top)
             .map(|v| {
@@ -114,12 +114,17 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("sparsity", v.sparsity)
                     .field("exact_significance", v.exact_significance)
             })
-            .collect();
-        let j = Json::object()
-            .field("row", row)
-            .field("views_total", profile.len())
-            .field("views", Json::Array(items));
-        return (exit::OK, j.pretty() + "\n");
+            .collect::<Result<Vec<Json>, _>>()
+            .and_then(|items| {
+                Json::object()
+                    .field("row", row)
+                    .field("views_total", profile.len())
+                    .field("views", Json::Array(items))
+            });
+        return match j {
+            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Err(e) => (exit::RUNTIME, format!("failed to render profile: {e}")),
+        };
     }
     let mut out = format!(
         "record {row}: {} views across k = {ks:?}, most abnormal first\n\n",

@@ -4,7 +4,7 @@
 use super::{load_dataset, parse_or_usage};
 use crate::args::Spec;
 use crate::exit;
-use crate::json::Json;
+use crate::json::{FieldChain, Json};
 use crate::model_io;
 
 /// Per-command help.
@@ -65,7 +65,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
     };
     let show_all = parsed.has("all");
     if parsed.has("json") {
-        let items: Vec<Json> = scores
+        let j = scores
             .iter()
             .enumerate()
             .filter(|(_, s)| show_all || s.is_some())
@@ -74,12 +74,17 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("row", row)
                     .field("score", s.map_or(Json::Null, Json::Number))
             })
-            .collect();
-        let j = Json::object()
-            .field("records", dataset.n_rows())
-            .field("outliers", scores.iter().filter(|s| s.is_some()).count())
-            .field("scored", Json::Array(items));
-        return (exit::OK, j.pretty() + "\n");
+            .collect::<Result<Vec<Json>, _>>()
+            .and_then(|items| {
+                Json::object()
+                    .field("records", dataset.n_rows())
+                    .field("outliers", scores.iter().filter(|s| s.is_some()).count())
+                    .field("scored", Json::Array(items))
+            });
+        return match j {
+            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Err(e) => (exit::RUNTIME, format!("failed to render scores: {e}")),
+        };
     }
     let mut out = format!(
         "{} of {} records match an abnormal projection\n",

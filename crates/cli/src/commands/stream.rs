@@ -1,0 +1,432 @@
+//! `hdoutlier stream` — score CSV records arriving on stdin, one NDJSON
+//! verdict per record, using a model saved by `detect --save-model`.
+
+use super::parse_or_usage;
+use crate::args::Spec;
+use crate::exit;
+use crate::json::{FieldChain, Json, JsonError};
+use crate::model_io;
+use hdoutlier_stream::{DriftReport, OnlineScorer, Verdict};
+use std::io::{BufRead, Write};
+
+/// Per-command help.
+pub const HELP: &str = "\
+hdoutlier stream — score records from stdin as they arrive
+
+Reads CSV rows from stdin (same column order the model was fitted on) and
+writes one NDJSON verdict per record to stdout. Every --drift-every records
+a chi-square drift check of the arriving distribution against the trained
+equi-depth grid is run and attached to that record's verdict; a drifted
+dimension means the grid has gone stale and the model should be re-fit.
+
+USAGE:
+    hdoutlier stream --model <model.json> [OPTIONS] < records.csv
+
+OPTIONS:
+    --model <path>       model file (required)
+    --delimiter <c>      field separator (default ',')
+    --no-header          first line is data, not column names
+    --outliers-only      emit verdicts only for flagged records
+    --drift-alpha <a>    drift-test significance level (default 0.01)
+    --drift-every <n>    records between drift checks (default 512)
+";
+
+/// Runs the subcommand against real stdin, writing each verdict to stdout
+/// as soon as it is computed (flushed per record, so `tail -f | hdoutlier
+/// stream` pipelines see verdicts immediately rather than at EOF).
+pub fn run(argv: &[String]) -> (i32, String) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_streaming(argv, stdin.lock(), &mut stdout.lock())
+}
+
+/// Runs the subcommand against any line source, collecting verdicts and any
+/// trailing error into one string (tests feed strings and assert on both).
+pub fn run_with_input(argv: &[String], input: impl BufRead) -> (i32, String) {
+    let mut sink = Vec::new();
+    let (code, err) = run_streaming(argv, input, &mut sink);
+    let mut out = String::from_utf8(sink).expect("verdicts are valid UTF-8");
+    out.push_str(&err);
+    (code, out)
+}
+
+/// The streaming core: verdicts go to `sink` record by record; the returned
+/// string carries only usage/runtime error text (empty on success).
+fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) -> (i32, String) {
+    let spec = Spec::new(
+        &["model", "delimiter", "drift-alpha", "drift-every"],
+        &["no-header", "outliers-only"],
+    );
+    let parsed = match parse_or_usage(&spec, argv, HELP) {
+        Ok(p) => p,
+        Err(out) => return out,
+    };
+    if let Some(path) = parsed.positional().first() {
+        return (
+            exit::USAGE,
+            format!("unexpected argument {path:?}: records are read from stdin\n\n{HELP}"),
+        );
+    }
+    let Some(model_path) = parsed.get("model") else {
+        return (exit::USAGE, format!("--model is required\n\n{HELP}"));
+    };
+    let delimiter = match parsed.get("delimiter") {
+        None => ',',
+        Some(d) if d.chars().count() == 1 => d.chars().next().expect("one char"),
+        Some(d) => {
+            return (
+                exit::USAGE,
+                format!("--delimiter must be a single character, got {d:?}\n\n{HELP}"),
+            )
+        }
+    };
+
+    let text = match std::fs::read_to_string(model_path) {
+        Ok(t) => t,
+        Err(e) => return (exit::RUNTIME, format!("failed to read {model_path}: {e}")),
+    };
+    let model = match model_io::from_json_text(&text) {
+        Ok(m) => m,
+        Err(e) => return (exit::RUNTIME, format!("failed to load model: {e}")),
+    };
+    let mut scorer = match OnlineScorer::new(model) {
+        Ok(s) => s,
+        Err(e) => return (exit::RUNTIME, format!("model unusable for streaming: {e}")),
+    };
+    match parsed.opt::<f64>("drift-alpha", "number") {
+        Ok(Some(alpha)) => {
+            if let Err(e) = scorer.set_drift_alpha(alpha) {
+                return (exit::USAGE, format!("{e}\n\n{HELP}"));
+            }
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    match parsed.opt::<u64>("drift-every", "integer") {
+        Ok(Some(every)) => {
+            if let Err(e) = scorer.set_check_every(every) {
+                return (exit::USAGE, format!("{e}\n\n{HELP}"));
+            }
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+
+    let n_dims = scorer.model().grid().n_dims();
+    let missing = hdoutlier_data::csv::CsvOptions::default().missing_markers;
+    let outliers_only = parsed.has("outliers-only");
+    let mut skip_header = !parsed.has("no-header");
+    let mut line_no = 0usize;
+    for line in input.lines() {
+        line_no += 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return (exit::RUNTIME, format!("stdin read failed: {e}")),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if skip_header {
+            skip_header = false;
+            continue;
+        }
+        let row = match parse_row(&line, delimiter, &missing, n_dims) {
+            Ok(r) => r,
+            Err(msg) => return (exit::RUNTIME, format!("line {line_no}: {msg}")),
+        };
+        let verdict = match scorer.score_record(&row) {
+            Ok(v) => v,
+            Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+        };
+        if outliers_only && !verdict.outlier && verdict.drift.is_none() {
+            continue;
+        }
+        let rendered = match verdict_json(&verdict, &scorer) {
+            Ok(j) => j.render(),
+            Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+        };
+        if let Err(e) = writeln!(sink, "{rendered}").and_then(|()| sink.flush()) {
+            // Downstream closing the pipe (`| head`) is a normal way for a
+            // stream consumer to stop; anything else is a real failure.
+            return if e.kind() == std::io::ErrorKind::BrokenPipe {
+                (exit::OK, String::new())
+            } else {
+                (exit::RUNTIME, format!("stdout write failed: {e}"))
+            };
+        }
+    }
+    (exit::OK, String::new())
+}
+
+/// Splits one CSV line into `n_dims` numbers (missing markers become NaN).
+fn parse_row(
+    line: &str,
+    delimiter: char,
+    missing: &[String],
+    n_dims: usize,
+) -> Result<Vec<f64>, String> {
+    let records = hdoutlier_data::csv::parse_records(line, delimiter)
+        .map_err(|e| format!("malformed CSV: {e}"))?;
+    let fields = match records.as_slice() {
+        [one] => one,
+        _ => return Err("expected exactly one record".to_string()),
+    };
+    if fields.len() != n_dims {
+        return Err(format!(
+            "expected {n_dims} fields (the model's dimensionality), got {}",
+            fields.len()
+        ));
+    }
+    fields
+        .iter()
+        .map(|f| {
+            let f = f.trim();
+            if missing.iter().any(|m| m == f) {
+                Ok(f64::NAN)
+            } else {
+                f.parse::<f64>()
+                    .map_err(|_| format!("cannot parse {f:?} as a number"))
+            }
+        })
+        .collect()
+}
+
+/// One NDJSON verdict line.
+fn verdict_json(verdict: &Verdict, scorer: &OnlineScorer) -> Result<Json, JsonError> {
+    let projections: Vec<Json> = verdict
+        .matched
+        .iter()
+        .map(|&i| Json::from(scorer.model().projections()[i].projection.to_string()))
+        .collect();
+    let mut j = Json::object()
+        .field("record", verdict.index)
+        .field("outlier", verdict.outlier)
+        .field("score", verdict.score.map_or(Json::Null, Json::Number))
+        .field("projections", Json::Array(projections))?;
+    if let Some(report) = &verdict.drift {
+        j = j.field("drift", drift_json(report)?)?;
+    }
+    Ok(j)
+}
+
+fn drift_json(report: &DriftReport) -> Result<Json, JsonError> {
+    let p_values: Vec<Json> = report.p_values.iter().map(|&p| Json::Number(p)).collect();
+    Json::object()
+        .field("drifted", report.any_drift())
+        .field(
+            "drifted_dims",
+            report
+                .drifted_dims
+                .iter()
+                .map(|&d| Json::from(d))
+                .collect::<Vec<_>>(),
+        )
+        .field("alpha", report.alpha)
+        .field("p_values", Json::Array(p_values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::planted_csv;
+    use crate::exit;
+    use crate::json::Json;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Trains a model from a planted CSV and returns (csv text, model path,
+    /// planted row indices).
+    fn trained(name: &str) -> (String, std::path::PathBuf, Vec<usize>) {
+        let (csv, planted_rows) = planted_csv(name);
+        let model_path = csv.with_extension("model.json");
+        let (code, out) = crate::commands::detect::run(&argv(&[
+            "--phi=4",
+            "--k=2",
+            "--m=6",
+            "--search=brute",
+            "--save-model",
+            model_path.to_str().unwrap(),
+            csv.to_str().unwrap(),
+        ]));
+        assert_eq!(code, exit::OK, "{out}");
+        let text = std::fs::read_to_string(&csv).unwrap();
+        (text, model_path, planted_rows)
+    }
+
+    #[test]
+    fn emits_one_ndjson_verdict_per_record() {
+        let (csv_text, model_path, planted_rows) = trained("stream-basic");
+        let n_records = csv_text.lines().count() - 1; // header
+        let (code, out) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap()]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), n_records);
+        // Every line is valid JSON with the expected shape, indexed in order.
+        for (i, line) in lines.iter().enumerate() {
+            let j = Json::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+            assert_eq!(j.get("record").and_then(Json::as_number), Some(i as f64));
+            assert!(j.get("outlier").is_some());
+            assert!(j.get("score").is_some());
+        }
+        // The planted outliers are flagged on their own lines.
+        let flagged: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains("\"outlier\":true"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            planted_rows.iter().any(|r| flagged.contains(r)),
+            "planted {planted_rows:?}, flagged {flagged:?}"
+        );
+        // Flagged records carry the matched projection string.
+        let sample = lines[flagged[0]];
+        assert!(sample.contains("\"projections\":[\""), "{sample}");
+    }
+
+    #[test]
+    fn outliers_only_filters_inliers() {
+        let (csv_text, model_path, _) = trained("stream-filter");
+        let (code, all) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap()]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK);
+        let (code, some) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap(), "--outliers-only"]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK);
+        assert!(some.lines().count() < all.lines().count());
+        assert!(some.lines().all(|l| l.contains("\"outlier\":true")));
+    }
+
+    #[test]
+    fn drift_report_attaches_on_cadence() {
+        let (csv_text, model_path, _) = trained("stream-drift");
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--drift-every",
+                "100",
+            ]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        let with_drift: Vec<usize> = out
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("\"drift\":"))
+            .map(|(i, _)| i)
+            .collect();
+        // 400 records, cadence 100 → checks at records 99, 199, 299, 399.
+        assert_eq!(with_drift, vec![99, 199, 299, 399], "{with_drift:?}");
+        // Replaying the training data: the equi-depth grid fits, no drift.
+        for (_, line) in out.lines().enumerate().filter(|(i, _)| *i == 399) {
+            assert!(line.contains("\"drifted\":false"), "{line}");
+        }
+    }
+
+    #[test]
+    fn drifted_stream_is_reported() {
+        let (csv_text, model_path, _) = trained("stream-drifted");
+        // Shift every value of the first column far into one tail.
+        let mut lines = csv_text.lines();
+        let header = lines.next().unwrap().to_string();
+        let mut shifted = header + "\n";
+        for line in lines {
+            let mut fields: Vec<String> = line.split(',').map(str::to_string).collect();
+            fields[0] = "1e6".to_string();
+            shifted.push_str(&fields.join(","));
+            shifted.push('\n');
+        }
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--drift-every",
+                "400",
+            ]),
+            shifted.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        let report_line = out
+            .lines()
+            .find(|l| l.contains("\"drift\":"))
+            .expect("cadence fired");
+        assert!(report_line.contains("\"drifted\":true"), "{report_line}");
+        let j = Json::parse(report_line).unwrap();
+        let dims = j
+            .get("drift")
+            .and_then(|d| d.get("drifted_dims"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(
+            dims.iter().any(|d| d.as_number() == Some(0.0)),
+            "{report_line}"
+        );
+    }
+
+    #[test]
+    fn missing_values_and_no_header_are_handled() {
+        let (_, model_path, _) = trained("stream-missing");
+        // Two headerless records with missing markers in several columns.
+        let input = "0,0,?,0,NaN,0\n1,1,1,1,1,1\n";
+        let (code, out) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap(), "--no-header"]),
+            input.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let (_, model_path, _) = trained("stream-errors");
+        // Wrong field count.
+        let (code, out) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap(), "--no-header"]),
+            "1,2,3\n".as_bytes(),
+        );
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("line 1"), "{out}");
+        assert!(out.contains("expected 6 fields"), "{out}");
+        // Unparseable number.
+        let (code, out) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap(), "--no-header"]),
+            "1,2,3,4,5,banana\n".as_bytes(),
+        );
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("banana"), "{out}");
+        // Usage errors.
+        let (code, out) = super::run_with_input(&argv(&[]), "".as_bytes());
+        assert_eq!(code, exit::USAGE);
+        assert!(out.contains("--model is required"));
+        let (code, out) = super::run_with_input(
+            &argv(&["--model", "x.json", "positional.csv"]),
+            "".as_bytes(),
+        );
+        assert_eq!(code, exit::USAGE);
+        assert!(out.contains("read from stdin"), "{out}");
+        let (code, _) =
+            super::run_with_input(&argv(&["--model", "/nope/missing.json"]), "".as_bytes());
+        assert_eq!(code, exit::RUNTIME);
+        // Bad drift flags.
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--drift-alpha",
+                "7",
+            ]),
+            "".as_bytes(),
+        );
+        assert_eq!(code, exit::USAGE);
+        assert!(out.contains("alpha"), "{out}");
+    }
+}

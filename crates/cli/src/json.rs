@@ -30,14 +30,23 @@ impl Json {
         Json::Object(Vec::new())
     }
 
-    /// Adds a field to an object (panics on non-objects — builder misuse is
-    /// a programming error).
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+    /// Adds a field to an object.
+    ///
+    /// # Errors
+    /// [`JsonError`] when `self` is not an object. Chains keep reading
+    /// naturally because [`FieldChain`] implements `field` on the returned
+    /// `Result`; put one `?` at the end of the chain.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Result<Self, JsonError> {
         match &mut self {
             Json::Object(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("field() on a non-object"),
+            other => {
+                return Err(JsonError {
+                    message: format!("field {key:?} on a non-object ({})", type_name(other)),
+                    offset: 0,
+                })
+            }
         }
-        self
+        Ok(self)
     }
 
     /// Renders compactly.
@@ -122,6 +131,34 @@ impl Json {
             }
             other => other.write(out),
         }
+    }
+}
+
+fn type_name(j: &Json) -> &'static str {
+    match j {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Number(_) => "number",
+        Json::String(_) => "string",
+        Json::Array(_) => "array",
+        Json::Object(_) => "object",
+    }
+}
+
+/// Keeps `.field(..).field(..)` chains flowing through the fallible builder:
+/// every link after the first operates on the `Result`, short-circuiting on
+/// the first error, so call sites need a single `?` at the end.
+pub trait FieldChain {
+    /// Adds a field to the object inside `Ok`, or passes the error through.
+    ///
+    /// # Errors
+    /// The carried error, or [`JsonError`] when the value is not an object.
+    fn field(self, key: &str, value: impl Into<Json>) -> Result<Json, JsonError>;
+}
+
+impl FieldChain for Result<Json, JsonError> {
+    fn field(self, key: &str, value: impl Into<Json>) -> Result<Json, JsonError> {
+        self?.field(key, value)
     }
 }
 
@@ -487,8 +524,12 @@ mod tests {
             .field("rows", vec![1usize, 2, 3])
             .field(
                 "nested",
-                Json::object().field("ok", true).field("x", Json::Null),
-            );
+                Json::object()
+                    .field("ok", true)
+                    .field("x", Json::Null)
+                    .unwrap(),
+            )
+            .unwrap();
         assert_eq!(
             j.render(),
             r#"{"name":"outliers","rows":[1,2,3],"nested":{"ok":true,"x":null}}"#
@@ -500,7 +541,8 @@ mod tests {
         let j = Json::object()
             .field("a", vec![1usize])
             .field("b", Json::Array(vec![]))
-            .field("c", Json::object());
+            .field("c", Json::object())
+            .unwrap();
         let p = j.pretty();
         assert!(p.contains("\"a\": [\n"));
         assert!(p.contains("\"b\": []"));
@@ -514,9 +556,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-object")]
-    fn field_on_array_panics() {
-        Json::Array(vec![]).field("k", 1usize);
+    fn field_on_non_object_is_an_error_that_short_circuits() {
+        let err = Json::Array(vec![]).field("k", 1usize).unwrap_err();
+        assert!(err.message.contains("non-object"), "{err}");
+        assert!(err.message.contains("array"), "{err}");
+        // The error survives further chaining untouched.
+        let chained = Json::from(1.0)
+            .field("a", 2usize)
+            .field("b", 3usize)
+            .unwrap_err();
+        assert!(chained.message.contains("\"a\""), "{chained}");
     }
 
     #[test]
@@ -581,7 +630,11 @@ mod tests {
             .field("values", vec![1.5f64, -2.25, 0.0])
             .field("flag", true)
             .field("missing", Json::Null)
-            .field("nested", Json::object().field("deep", vec![7usize]));
+            .field(
+                "nested",
+                Json::object().field("deep", vec![7usize]).unwrap(),
+            )
+            .unwrap();
         for text in [original.render(), original.pretty()] {
             let back = Json::parse(&text).unwrap();
             assert_eq!(back.render(), original.render());

@@ -7,11 +7,12 @@
 //! - [`args`]: a small, dependency-free command-line parser (flags with
 //!   values, `--flag=value` and `--flag value` forms, positional arguments,
 //!   typed getters with error messages);
-//! - [`json`]: a minimal JSON writer (the workspace policy is no external
-//!   dependencies; reports are simple enough that escaping + nesting is all
-//!   that is needed);
-//! - [`commands`]: the `detect`, `advise` and `baseline` subcommands,
-//!   returning their output as a string so tests can assert on it.
+//! - [`json`]: a minimal JSON value with writer and parser (the workspace
+//!   builds hermetically with no external dependencies; reports and model
+//!   files are simple enough that escaping + nesting is all that is needed);
+//! - [`commands`]: the `detect`, `score`, `stream`, `explain`, `advise` and
+//!   `baseline` subcommands, returning their output as a string so tests
+//!   can assert on it.
 
 pub mod args;
 pub mod commands;
@@ -38,6 +39,7 @@ USAGE:
 COMMANDS:
     detect    find outliers in a CSV file via sparse-projection search
     score     score records against a model saved by `detect --save-model`
+    stream    score CSV records from stdin one by one, emitting NDJSON verdicts
     explain   rank every subspace view of one record by abnormality
     advise    recommend phi and k for a dataset size (the paper's Eq. 2)
     baseline  run a distance-based comparator (knn | lof | knorr-ng)
@@ -57,6 +59,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
     match command.as_str() {
         "detect" => commands::detect::run(rest),
         "score" => commands::score::run(rest),
+        "stream" => commands::stream::run(rest),
         "explain" => commands::explain::run(rest),
         "advise" => commands::advise::run(rest),
         "baseline" => commands::baseline::run(rest),

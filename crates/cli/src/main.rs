@@ -1,13 +1,25 @@
 //! The `hdoutlier` binary: argument vector in, `(exit code, output)` out.
 //! All logic lives in the library so it is testable.
 
+use std::io::Write;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (code, output) = hdoutlier_cli::run(&argv);
-    if code == hdoutlier_cli::exit::OK {
-        print!("{output}");
+    let result = if code == hdoutlier_cli::exit::OK {
+        let mut out = std::io::stdout();
+        out.write_all(output.as_bytes()).and_then(|()| out.flush())
     } else {
-        eprint!("{output}");
+        let mut err = std::io::stderr();
+        err.write_all(output.as_bytes()).and_then(|()| err.flush())
+    };
+    if let Err(e) = result {
+        // A consumer closing the pipe early (`hdoutlier ... | head`) is a
+        // normal shutdown, not an error worth a panic or a message.
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            let _ = writeln!(std::io::stderr(), "write failed: {e}");
+            std::process::exit(hdoutlier_cli::exit::RUNTIME);
+        }
     }
     std::process::exit(code);
 }

@@ -2,7 +2,7 @@
 //! `score --model` loads it and scores incoming records without the training
 //! data.
 
-use crate::json::{Json, JsonError};
+use crate::json::{FieldChain, Json, JsonError};
 use hdoutlier_core::projection::{Projection, STAR};
 use hdoutlier_core::report::ScoredProjection;
 use hdoutlier_core::FittedModel;
@@ -35,7 +35,10 @@ impl std::fmt::Display for ModelIoError {
 impl std::error::Error for ModelIoError {}
 
 /// Serializes a fitted model to a JSON value.
-pub fn to_json(model: &FittedModel) -> Json {
+///
+/// # Errors
+/// [`JsonError`] on builder misuse (not reachable from a well-formed model).
+pub fn to_json(model: &FittedModel) -> Result<Json, JsonError> {
     let grid = model.grid();
     let boundaries: Vec<Json> = (0..grid.n_dims())
         .map(|d| {
@@ -73,7 +76,7 @@ pub fn to_json(model: &FittedModel) -> Json {
                 .field("sparsity", s.sparsity)
                 .field("count", s.count)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     Json::object()
         .field("format", FORMAT_VERSION)
         .field(
@@ -81,7 +84,7 @@ pub fn to_json(model: &FittedModel) -> Json {
             Json::object()
                 .field("phi", grid.phi())
                 .field("names", Json::Array(names))
-                .field("boundaries", Json::Array(boundaries)),
+                .field("boundaries", Json::Array(boundaries))?,
         )
         .field("projections", Json::Array(projections))
 }
@@ -214,7 +217,7 @@ mod tests {
     #[test]
     fn model_round_trips_and_scores_identically() {
         let (model, planted) = fitted();
-        let text = to_json(&model).pretty();
+        let text = to_json(&model).unwrap().pretty();
         let loaded = from_json_text(&text).expect("round trip");
         // Same projections...
         assert_eq!(loaded.projections().len(), model.projections().len());
@@ -255,7 +258,7 @@ mod tests {
     #[test]
     fn stars_serialize_as_null() {
         let (model, _) = fitted();
-        let json = to_json(&model);
+        let json = to_json(&model).unwrap();
         let text = json.render();
         assert!(text.contains("null"), "{text}");
         assert!(text.contains("\"format\":1"));

@@ -21,7 +21,7 @@
 use crate::fitness::SparsityFitness;
 use crate::projection::{Projection, STAR};
 use hdoutlier_index::{Cube, CubeCounter};
-use rand::Rng;
+use hdoutlier_rng::Rng;
 
 /// Which recombination the evolutionary search uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,8 +209,8 @@ mod tests {
     use hdoutlier_data::generators::uniform;
     use hdoutlier_data::Dataset;
     use hdoutlier_index::BitmapCounter;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hdoutlier_rng::rngs::StdRng;
+    use hdoutlier_rng::SeedableRng;
 
     fn proj(s: &str) -> Projection {
         // Parse the paper's single-digit notation.

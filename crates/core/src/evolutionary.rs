@@ -13,7 +13,7 @@ use crate::projection::Projection;
 use crate::report::ScoredProjection;
 use hdoutlier_evolve::{Engine, EngineConfig, EvolutionaryProblem, SelectionScheme, Termination};
 use hdoutlier_index::CubeCounter;
-use rand::rngs::StdRng;
+use hdoutlier_rng::rngs::StdRng;
 
 /// Configuration of one evolutionary run.
 #[derive(Debug, Clone)]

@@ -116,7 +116,7 @@ mod tests {
             n_dims: 10,
             n_outliers: 5,
             strong_groups: Some(3),
-            seed: 91,
+            seed: 1,
             ..PlantedConfig::default()
         });
         let model = OutlierDetector::builder()

@@ -11,7 +11,7 @@
 //! The paper uses `p1 = p2`; both are configurable for the ablation bench.
 
 use crate::projection::{Projection, STAR};
-use rand::Rng;
+use hdoutlier_rng::Rng;
 
 /// Mutation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -58,8 +58,8 @@ pub fn mutate<R: Rng>(projection: &mut Projection, config: &MutationConfig, rng:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hdoutlier_rng::rngs::StdRng;
+    use hdoutlier_rng::SeedableRng;
 
     #[test]
     fn preserves_dimensionality() {

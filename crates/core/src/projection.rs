@@ -10,7 +10,7 @@
 //! [`std::fmt::Display`] renders the paper's 1-based notation.
 
 use hdoutlier_index::Cube;
-use rand::Rng;
+use hdoutlier_rng::Rng;
 use std::fmt;
 
 /// Sentinel gene value for `*` ("don't care").
@@ -170,8 +170,8 @@ impl fmt::Display for Projection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hdoutlier_rng::rngs::StdRng;
+    use hdoutlier_rng::SeedableRng;
 
     #[test]
     fn paper_notation_example() {

@@ -7,9 +7,9 @@ use hdoutlier_core::projection::{Projection, STAR};
 use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
 use hdoutlier_data::generators::uniform;
 use hdoutlier_index::BitmapCounter;
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::SeedableRng;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const D: usize = 8;
 const PHI: u32 = 4;

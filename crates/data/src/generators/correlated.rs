@@ -8,7 +8,7 @@
 //! structured (same group), others are diffuse noise (different groups).
 
 use crate::dataset::Dataset;
-use rand::Rng;
+use hdoutlier_rng::Rng;
 
 /// Configuration for [`correlated`].
 #[derive(Debug, Clone)]

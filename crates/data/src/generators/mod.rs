@@ -26,8 +26,8 @@ pub use correlated::{correlated, CorrelatedConfig};
 pub use planted::{planted_outliers, PlantedConfig, PlantedOutliers};
 pub use uniform::uniform;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::SeedableRng;
 
 /// The RNG used by all generators: seeded, portable, deterministic.
 pub(crate) fn rng(seed: u64) -> StdRng {

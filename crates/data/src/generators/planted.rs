@@ -12,7 +12,7 @@
 
 use super::correlated::standard_normal;
 use crate::dataset::Dataset;
-use rand::Rng;
+use hdoutlier_rng::Rng;
 
 /// Configuration for [`planted_outliers`].
 #[derive(Debug, Clone)]

@@ -15,8 +15,8 @@
 use super::correlated::standard_normal;
 use super::planted::{planted_outliers, PlantedConfig, PlantedOutliers};
 use crate::dataset::Dataset;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use hdoutlier_rng::seq::SliceRandom;
+use hdoutlier_rng::Rng;
 
 /// A Table-1 style simulacrum: data plus the planted ground truth.
 #[derive(Debug, Clone)]

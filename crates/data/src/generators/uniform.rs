@@ -1,7 +1,7 @@
 //! I.i.d. uniform data — the calibration null model.
 
 use crate::dataset::Dataset;
-use rand::Rng;
+use hdoutlier_rng::Rng;
 
 /// Generates `n_rows × n_dims` of i.i.d. `Uniform[0, 1)` values.
 ///

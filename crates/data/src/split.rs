@@ -4,13 +4,13 @@
 //! in the workspace.
 
 use crate::dataset::{DataError, Dataset};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hdoutlier_rng::seq::SliceRandom;
+use hdoutlier_rng::SeedableRng;
 
 /// A seeded random permutation of `0..n`.
 pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    order.shuffle(&mut hdoutlier_rng::rngs::StdRng::seed_from_u64(seed));
     order
 }
 

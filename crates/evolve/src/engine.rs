@@ -16,8 +16,8 @@
 
 use crate::convergence::population_converged;
 use crate::selection::SelectionScheme;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 /// A problem the engine can evolve. Fitness is minimized.
 pub trait EvolutionaryProblem {

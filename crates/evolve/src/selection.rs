@@ -3,8 +3,8 @@
 //! All schemes sample `p` parents *with replacement* from a population of
 //! `p` fitness values, returning indices. Fitness is minimized.
 
+use hdoutlier_rng::Rng;
 use hdoutlier_stats::rank::ranks;
-use rand::Rng;
 
 /// Which selection pressure to apply each generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,8 +95,8 @@ fn roulette<R: Rng>(weights: &[f64], n: usize, rng: &mut R) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hdoutlier_rng::rngs::StdRng;
+    use hdoutlier_rng::SeedableRng;
 
     fn frequency(selected: &[usize], p: usize) -> Vec<f64> {
         let mut counts = vec![0usize; p];

@@ -3,9 +3,9 @@
 use hdoutlier_evolve::{
     gene_convergence, population_converged, two_point_crossover, SelectionScheme,
 };
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::SeedableRng;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #[test]

@@ -1,0 +1,83 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::uniform::uniform_below;
+use crate::RngCore;
+
+/// Randomized slice operations.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "100! odds say shuffled");
+    }
+
+    #[test]
+    fn shuffle_mixes_all_positions() {
+        // Every element should land away from its start at least once over
+        // a few shuffles.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut moved = [false; 20];
+        for _ in 0..10 {
+            let mut v: Vec<usize> = (0..20).collect();
+            v.shuffle(&mut rng);
+            for (i, &x) in v.iter().enumerate() {
+                if i != x {
+                    moved[x] = true;
+                }
+            }
+        }
+        assert!(moved.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn choose_handles_empty_and_covers() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*items.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,152 @@
+//! Uniform sampling: full-domain samples ([`Standard`]) and range samples
+//! ([`SampleRange`], backing `Rng::gen_range`).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a canonical "uniform over the whole domain" sample.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // The top bit: xoshiro's upper bits are the best mixed.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, n)` via Lemire's widening-multiply method;
+/// unbiased, with rare rejection only when `2^64 % n != 0` bites.
+pub(crate) fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = (rng.next_u64() as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges `Rng::gen_range` accepts: `lo..hi` and `lo..=hi` over the
+/// workspace's numeric types.
+pub trait SampleRange<T> {
+    /// Draws one sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, SeedableRng, Xoshiro256PlusPlus};
+
+    #[test]
+    fn signed_ranges_straddle_zero_correctly() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for _ in 0..1_000 {
+            let v: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&v));
+            saw_neg |= v < 0;
+            saw_pos |= v > 0;
+        }
+        assert!(saw_neg && saw_pos);
+    }
+
+    #[test]
+    fn singleton_inclusive_range_is_constant() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(7..=7u32), 7);
+        }
+    }
+
+    #[test]
+    fn full_u64_domain_does_not_overflow() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_at_small_n() {
+        // n = 3 exercises the rejection path (2^64 mod 3 != 0).
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(14);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+}

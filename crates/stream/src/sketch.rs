@@ -1,0 +1,504 @@
+//! Streaming quantiles and the online equi-depth grid.
+//!
+//! The batch pipeline gets its φ equi-depth ranges by sorting each column
+//! (`hdoutlier_data::discretize`). A stream cannot sort; instead each
+//! dimension keeps a Greenwald–Khanna sketch — an ordered summary of
+//! `(value, g, Δ)` tuples maintaining every rank to within `ε·n` — and the
+//! range boundaries are read off as the `1/φ, 2/φ, …` quantiles on demand.
+//!
+//! Greenwald & Khanna, "Space-Efficient Online Computation of Quantile
+//! Summaries" (SIGMOD 2001 — the same conference issue as the source
+//! paper). Space is `O((1/ε)·log(εn))`; inserts are logarithmic search plus
+//! a periodic compress.
+
+use hdoutlier_data::dataset::DataError;
+use hdoutlier_data::discretize::MISSING_CELL;
+use hdoutlier_data::GridSpec;
+
+/// One summary tuple: `g` is the rank gap to the previous tuple, `delta`
+/// the extra rank uncertainty of this one.
+#[derive(Debug, Clone, Copy)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A Greenwald–Khanna ε-approximate quantile sketch over one dimension.
+///
+/// Any quantile query is answered with a value whose true rank is within
+/// `ε·n` of the requested rank. NaNs are ignored (they are the missing-value
+/// encoding upstream).
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    eps: f64,
+    n: u64,
+    tuples: Vec<Tuple>,
+    inserts_since_compress: u64,
+}
+
+impl GkSketch {
+    /// Creates a sketch with rank error `eps` (must be in `(0, 0.5)`).
+    ///
+    /// # Panics
+    /// Panics if `eps` is out of range.
+    pub fn new(eps: f64) -> Self {
+        assert!(
+            eps > 0.0 && eps < 0.5 && eps.is_finite(),
+            "eps must be in (0, 0.5), got {eps}"
+        );
+        Self {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            inserts_since_compress: 0,
+        }
+    }
+
+    /// Number of (non-NaN) values observed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no values have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The configured rank error.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of summary tuples currently held (the space cost).
+    pub fn summary_size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Observes one value; NaN is ignored.
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        // First tuple past v; inserting there keeps the summary sorted.
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let cap = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0 // a new minimum or maximum has exact rank
+        } else {
+            cap.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.inserts_since_compress += 1;
+        if self.inserts_since_compress as f64 >= 1.0 / (2.0 * self.eps) {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined uncertainty stays within the
+    /// `2εn` capacity, bounding the summary size.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.eps * self.n as f64).floor() as u64;
+        // Sweep from the tail; never touch the first or last tuple (they
+        // pin the observed min and max at exact rank).
+        let mut i = self.tuples.len() - 2;
+        while i >= 1 {
+            let merged = self.tuples[i].g + self.tuples[i + 1].g + self.tuples[i + 1].delta;
+            if merged <= cap {
+                self.tuples[i + 1].g += self.tuples[i].g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`): a value whose rank is within
+    /// `ε·n` of `q·n`. `None` on an empty sketch.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.n as f64).ceil() as u64).max(1);
+        let e = (self.eps * self.n as f64).floor() as u64;
+        let mut r_min = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            r_min += t.g;
+            let r_max = r_min + t.delta;
+            if r_max > rank + e {
+                // This tuple may already overshoot; the previous one is
+                // guaranteed within ε·n by the summary invariant.
+                let j = i.saturating_sub(1);
+                return Some(self.tuples[j].v);
+            }
+        }
+        self.tuples.last().map(|t| t.v)
+    }
+}
+
+/// Online equi-depth discretization: one [`GkSketch`] per dimension,
+/// exposing the φ range boundaries — and therefore the same cell mapping —
+/// that `hdoutlier_data::discretize` derives by sorting.
+#[derive(Debug, Clone)]
+pub struct StreamingDiscretizer {
+    phi: u32,
+    sketches: Vec<GkSketch>,
+    names: Vec<String>,
+    rows_observed: u64,
+}
+
+impl StreamingDiscretizer {
+    /// Creates a discretizer for `n_dims` attributes with `phi` ranges per
+    /// dimension and per-dimension sketch error `eps`.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] for zero dimensions; [`DataError::Parse`] for a
+    /// `phi` outside `1..u16::MAX` (the same bound the batch discretizer
+    /// enforces) or a non-finite/out-of-range `eps`.
+    pub fn new(n_dims: usize, phi: u32, eps: f64) -> Result<Self, DataError> {
+        if n_dims == 0 {
+            return Err(DataError::Empty);
+        }
+        if phi == 0 || phi >= u16::MAX as u32 {
+            return Err(DataError::Parse(format!(
+                "phi must be in 1..{}, got {phi}",
+                u16::MAX
+            )));
+        }
+        if !(eps > 0.0 && eps < 0.5 && eps.is_finite()) {
+            return Err(DataError::Parse(format!(
+                "sketch eps must be in (0, 0.5), got {eps}"
+            )));
+        }
+        Ok(Self {
+            phi,
+            sketches: (0..n_dims).map(|_| GkSketch::new(eps)).collect(),
+            names: (0..n_dims).map(|d| format!("x{d}")).collect(),
+            rows_observed: 0,
+        })
+    }
+
+    /// Replaces the column names carried into [`StreamingDiscretizer::grid_spec`].
+    ///
+    /// # Errors
+    /// [`DataError::NameCountMismatch`] when the count is wrong.
+    pub fn set_names<S: Into<String>>(&mut self, names: Vec<S>) -> Result<(), DataError> {
+        if names.len() != self.sketches.len() {
+            return Err(DataError::NameCountMismatch {
+                n_dims: self.sketches.len(),
+                n_names: names.len(),
+            });
+        }
+        self.names = names.into_iter().map(Into::into).collect();
+        Ok(())
+    }
+
+    /// Ranges per dimension.
+    pub fn phi(&self) -> u32 {
+        self.phi
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Rows observed so far.
+    pub fn rows_observed(&self) -> u64 {
+        self.rows_observed
+    }
+
+    /// The sketch of one dimension.
+    pub fn sketch(&self, dim: usize) -> &GkSketch {
+        &self.sketches[dim]
+    }
+
+    /// Folds one record into the per-dimension sketches; NaNs (missing
+    /// values) are skipped per dimension like the batch discretizer.
+    ///
+    /// # Errors
+    /// [`DataError::ShapeMismatch`] on a record of the wrong width.
+    pub fn observe(&mut self, row: &[f64]) -> Result<(), DataError> {
+        if row.len() != self.sketches.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: self.sketches.len(),
+                actual: row.len(),
+            });
+        }
+        for (sketch, &v) in self.sketches.iter_mut().zip(row) {
+            sketch.insert(v);
+        }
+        self.rows_observed += 1;
+        Ok(())
+    }
+
+    /// The φ−1 ascending upper boundaries of `dim`, read from the sketch at
+    /// the `c/φ` quantiles. `None` until the dimension has seen data.
+    pub fn boundaries(&self, dim: usize) -> Option<Vec<f64>> {
+        let sketch = &self.sketches[dim];
+        if sketch.is_empty() {
+            return None;
+        }
+        let mut uppers = Vec::with_capacity(self.phi as usize - 1);
+        let mut last = f64::NEG_INFINITY;
+        for c in 1..self.phi {
+            let q = c as f64 / self.phi as f64;
+            let b = sketch.quantile(q).expect("non-empty sketch");
+            // Sketch quantiles are monotone, but enforce it so GridSpec
+            // validation can never fail on floating noise.
+            let b = b.max(last);
+            uppers.push(b);
+            last = b;
+        }
+        Some(uppers)
+    }
+
+    /// Snapshots the current boundaries as a [`GridSpec`] — the exact type
+    /// the batch pipeline fits, so everything downstream (model scoring,
+    /// window counting) is shared.
+    ///
+    /// A dimension that has seen no data yet (all missing) gets all-equal
+    /// boundaries at 0, matching the batch behavior of an all-missing
+    /// column (everything assigns to range 0).
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] before any record has been observed.
+    pub fn grid_spec(&self) -> Result<GridSpec, DataError> {
+        if self.rows_observed == 0 {
+            return Err(DataError::Empty);
+        }
+        let uppers: Vec<Vec<f64>> = (0..self.n_dims())
+            .map(|dim| {
+                self.boundaries(dim)
+                    .unwrap_or_else(|| vec![0.0; self.phi as usize - 1])
+            })
+            .collect();
+        GridSpec::from_parts(uppers, self.phi, self.names.clone())
+    }
+
+    /// Cell of a single value on `dim` under the current boundaries, with
+    /// the same mapping rule as [`GridSpec::cell_of`] (NaN →
+    /// [`MISSING_CELL`], boundary ties land low).
+    pub fn cell_of(&self, dim: usize, value: f64) -> u16 {
+        if value.is_nan() {
+            return MISSING_CELL;
+        }
+        match self.boundaries(dim) {
+            // Mirror the all-zero boundaries grid_spec() emits for a
+            // dimension with no data, so the two mappings always agree.
+            None => {
+                if value > 0.0 {
+                    (self.phi - 1) as u16
+                } else {
+                    0
+                }
+            }
+            Some(uppers) => uppers.partition_point(|&b| b < value) as u16,
+        }
+    }
+
+    /// Cells of one record under the current boundaries.
+    ///
+    /// # Errors
+    /// [`DataError::ShapeMismatch`] on a record of the wrong width.
+    pub fn assign_row(&self, row: &[f64]) -> Result<Vec<u16>, DataError> {
+        if row.len() != self.n_dims() {
+            return Err(DataError::ShapeMismatch {
+                expected: self.n_dims(),
+                actual: row.len(),
+            });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(dim, &v)| self.cell_of(dim, v))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact rank interval of `v` in `sorted`: positions (1-based) where v
+    /// could sit. Values tie-aware so heavy-tie streams test fairly.
+    fn rank_interval(sorted: &[f64], v: f64) -> (u64, u64) {
+        let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= v) as u64;
+        (lo, hi.max(lo))
+    }
+
+    fn assert_quantiles_within_eps(values: &[f64], eps: f64) {
+        let mut sketch = GkSketch::new(eps);
+        for &v in values {
+            sketch.insert(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        for i in 1..20 {
+            let q = i as f64 / 20.0;
+            let est = sketch.quantile(q).unwrap();
+            let target = (q * n).ceil().max(1.0);
+            let (lo, hi) = rank_interval(&sorted, est);
+            let err = if target < lo as f64 {
+                lo as f64 - target
+            } else if target > hi as f64 {
+                target - hi as f64
+            } else {
+                0.0
+            };
+            assert!(
+                err <= (eps * n).floor() + 1.0,
+                "q={q}: est {est} rank [{lo},{hi}] target {target} err {err}"
+            );
+        }
+    }
+
+    fn pseudo_random(n: usize) -> Vec<f64> {
+        // LCG-style mixing keeps the test free of the rng dev-dependency
+        // ordering concerns; spread is uniform enough for rank tests.
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 100_000) as f64 / 100_000.0)
+            .collect()
+    }
+
+    #[test]
+    fn random_stream_meets_error_bound() {
+        assert_quantiles_within_eps(&pseudo_random(50_000), 0.01);
+    }
+
+    #[test]
+    fn sorted_and_reversed_streams_meet_error_bound() {
+        let asc: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        assert_quantiles_within_eps(&asc, 0.01);
+        let desc: Vec<f64> = (0..20_000).rev().map(|i| i as f64).collect();
+        assert_quantiles_within_eps(&desc, 0.01);
+    }
+
+    #[test]
+    fn heavy_ties_meet_error_bound() {
+        // 90% one value — the discretizer's nastiest real-world input.
+        let mut vals = vec![5.0; 18_000];
+        vals.extend((0..2_000).map(|i| i as f64 / 2_000.0));
+        assert_quantiles_within_eps(&vals, 0.01);
+    }
+
+    #[test]
+    fn summary_stays_compact() {
+        let mut sketch = GkSketch::new(0.01);
+        for v in pseudo_random(100_000) {
+            sketch.insert(v);
+        }
+        // O((1/eps)·log(eps·n)) ≈ a few hundred at eps=1%.
+        assert!(
+            sketch.summary_size() < 2_000,
+            "summary grew to {}",
+            sketch.summary_size()
+        );
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut sketch = GkSketch::new(0.1);
+        sketch.insert(f64::NAN);
+        assert!(sketch.is_empty());
+        sketch.insert(1.0);
+        assert_eq!(sketch.len(), 1);
+        assert_eq!(sketch.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        assert_eq!(GkSketch::new(0.1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn discretizer_validates_parameters() {
+        assert!(StreamingDiscretizer::new(0, 5, 0.01).is_err());
+        assert!(StreamingDiscretizer::new(3, 0, 0.01).is_err());
+        assert!(StreamingDiscretizer::new(3, u16::MAX as u32, 0.01).is_err());
+        assert!(StreamingDiscretizer::new(3, 5, 0.0).is_err());
+        assert!(StreamingDiscretizer::new(3, 5, 0.7).is_err());
+        assert!(StreamingDiscretizer::new(3, 5, 0.01).is_ok());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut disc = StreamingDiscretizer::new(3, 5, 0.01).unwrap();
+        assert!(disc.observe(&[1.0, 2.0]).is_err());
+        assert!(disc.observe(&[1.0, 2.0, 3.0]).is_ok());
+        assert!(disc.assign_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cells_agree_with_grid_spec_snapshot() {
+        let mut disc = StreamingDiscretizer::new(2, 4, 0.005).unwrap();
+        for i in 0..5_000 {
+            let v = (i as f64 * 0.6180339887) % 1.0;
+            disc.observe(&[v, 1.0 - v]).unwrap();
+        }
+        let spec = disc.grid_spec().unwrap();
+        for i in 0..100 {
+            let v = i as f64 / 100.0;
+            assert_eq!(disc.cell_of(0, v), spec.cell_of(0, v), "value {v}");
+            assert_eq!(
+                disc.assign_row(&[v, 1.0 - v]).unwrap(),
+                spec.assign_row(&[v, 1.0 - v]).unwrap()
+            );
+        }
+        assert_eq!(disc.cell_of(0, f64::NAN), MISSING_CELL);
+    }
+
+    #[test]
+    fn streaming_boundaries_track_batch_quartiles() {
+        // Uniform 0..1: boundaries should approach 0.25/0.5/0.75.
+        let mut disc = StreamingDiscretizer::new(1, 4, 0.005).unwrap();
+        for v in pseudo_random(50_000) {
+            disc.observe(&[v]).unwrap();
+        }
+        let b = disc.boundaries(0).unwrap();
+        for (got, want) in b.iter().zip([0.25, 0.5, 0.75]) {
+            assert!((got - want).abs() < 0.02, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn all_missing_dimension_is_tolerated() {
+        let mut disc = StreamingDiscretizer::new(2, 3, 0.01).unwrap();
+        for i in 0..100 {
+            disc.observe(&[f64::NAN, i as f64]).unwrap();
+        }
+        assert!(disc.boundaries(0).is_none());
+        let spec = disc.grid_spec().unwrap();
+        // The dead dimension gets all-zero boundaries; streaming and
+        // snapshot mappings must still agree on it.
+        for v in [-1.0, 0.0, 42.0] {
+            assert_eq!(disc.cell_of(0, v), spec.cell_of(0, v), "value {v}");
+        }
+        assert_eq!(spec.cell_of(0, 42.0), 2); // past both zero boundaries
+        assert_eq!(spec.cell_of(0, -1.0), 0);
+        assert_eq!(disc.cell_of(0, f64::NAN), MISSING_CELL);
+    }
+
+    #[test]
+    fn names_flow_into_grid_spec() {
+        let mut disc = StreamingDiscretizer::new(2, 3, 0.01).unwrap();
+        assert!(disc.set_names(vec!["only-one"]).is_err());
+        disc.set_names(vec!["a", "b"]).unwrap();
+        disc.observe(&[1.0, 2.0]).unwrap();
+        let spec = disc.grid_spec().unwrap();
+        assert_eq!(spec.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn grid_spec_requires_data() {
+        let disc = StreamingDiscretizer::new(2, 3, 0.01).unwrap();
+        assert!(disc.grid_spec().is_err());
+    }
+}

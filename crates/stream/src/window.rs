@@ -1,0 +1,320 @@
+//! Sliding-window cube counting.
+//!
+//! The batch index ([`hdoutlier_index::BitmapCounter`]) is built once over a
+//! frozen dataset. A stream needs the same query surface — "how many of the
+//! current records fall in this cube?" — over the most recent `W` records,
+//! with old records aging out. [`WindowCounter`] keeps a ring buffer of
+//! discretized rows plus one posting bitmap per `(dimension, range)` cell,
+//! indexed by ring slot, so insert and evict each touch exactly `d` bitmaps
+//! (O(1) amortized per dimension) and counting stays the same
+//! intersect-and-popcount the batch index uses.
+//!
+//! It implements [`CubeCounter`], so the brute-force search, fitness
+//! function, and evolutionary engine run unchanged against a live window.
+
+use hdoutlier_data::dataset::DataError;
+use hdoutlier_data::discretize::MISSING_CELL;
+use hdoutlier_index::{Bitmap, Cube, CubeCounter};
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding window of discretized records, queryable as a
+/// [`CubeCounter`].
+///
+/// Row indices reported by [`CubeCounter::rows`] are window-relative ages:
+/// `0` is the oldest record still in the window, `len − 1` the newest.
+#[derive(Debug, Clone)]
+pub struct WindowCounter {
+    capacity: usize,
+    n_dims: usize,
+    phi: u32,
+    /// One bitmap per `(dim, range)` cell, indexed `dim * phi + range`;
+    /// bit positions are ring slots, not ages.
+    postings: Vec<Bitmap>,
+    /// Cells of the record in each ring slot (`None` while unoccupied).
+    slots: Vec<Option<Vec<u16>>>,
+    /// Ring slots in age order, oldest first.
+    order: VecDeque<usize>,
+    /// Total records ever pushed (for monitoring; not the window length).
+    total_pushed: u64,
+}
+
+impl WindowCounter {
+    /// Creates an empty window holding at most `capacity` records of
+    /// `n_dims` cells each, over a `phi`-range grid.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] for a zero capacity or zero dimensions;
+    /// [`DataError::Parse`] for a `phi` outside `1..u16::MAX`.
+    pub fn new(capacity: usize, n_dims: usize, phi: u32) -> Result<Self, DataError> {
+        if capacity == 0 || n_dims == 0 {
+            return Err(DataError::Empty);
+        }
+        if phi == 0 || phi >= u16::MAX as u32 {
+            return Err(DataError::Parse(format!(
+                "phi must be in 1..{}, got {phi}",
+                u16::MAX
+            )));
+        }
+        Ok(Self {
+            capacity,
+            n_dims,
+            phi,
+            postings: vec![Bitmap::new(capacity); n_dims * phi as usize],
+            slots: vec![None; capacity],
+            order: VecDeque::with_capacity(capacity),
+            total_pushed: 0,
+        })
+    }
+
+    /// Window capacity `W`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently held (`≤ capacity`).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the window holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether the window has reached capacity (every further push evicts).
+    pub fn is_full(&self) -> bool {
+        self.order.len() == self.capacity
+    }
+
+    /// Total records pushed over the window's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// The discretized record at window-relative age `idx` (0 = oldest).
+    pub fn record(&self, idx: usize) -> Option<&[u16]> {
+        let slot = *self.order.get(idx)?;
+        self.slots[slot].as_deref()
+    }
+
+    #[inline]
+    fn posting_index(&self, dim: usize, range: u16) -> usize {
+        dim * self.phi as usize + range as usize
+    }
+
+    /// Pushes one discretized record, evicting (and returning) the oldest
+    /// when full. Cells must be `< phi` or [`MISSING_CELL`].
+    ///
+    /// Both the evict and the insert touch exactly `n_dims` bitmap bits.
+    ///
+    /// # Errors
+    /// [`DataError::ShapeMismatch`] on a record of the wrong width;
+    /// [`DataError::Parse`] on an out-of-range cell.
+    pub fn push(&mut self, cells: &[u16]) -> Result<Option<Vec<u16>>, DataError> {
+        if cells.len() != self.n_dims {
+            return Err(DataError::ShapeMismatch {
+                expected: self.n_dims,
+                actual: cells.len(),
+            });
+        }
+        for (dim, &c) in cells.iter().enumerate() {
+            if c != MISSING_CELL && c as u32 >= self.phi {
+                return Err(DataError::Parse(format!(
+                    "dimension {dim}: cell {c} out of range for phi {}",
+                    self.phi
+                )));
+            }
+        }
+        let (slot, evicted) = if self.order.len() == self.capacity {
+            let slot = self.order.pop_front().expect("full window");
+            let old = self.slots[slot].take().expect("occupied slot");
+            for (dim, &c) in old.iter().enumerate() {
+                if c != MISSING_CELL {
+                    let idx = self.posting_index(dim, c);
+                    self.postings[idx].clear(slot);
+                }
+            }
+            (slot, Some(old))
+        } else {
+            (self.order.len(), None)
+        };
+        for (dim, &c) in cells.iter().enumerate() {
+            if c != MISSING_CELL {
+                let idx = self.posting_index(dim, c);
+                self.postings[idx].set(slot);
+            }
+        }
+        self.slots[slot] = Some(cells.to_vec());
+        self.order.push_back(slot);
+        self.total_pushed += 1;
+        Ok(evicted)
+    }
+
+    /// The posting bitmaps for a cube, or `None` if the cube references a
+    /// dimension or range outside this grid (which covers zero records).
+    fn cube_postings(&self, cube: &Cube) -> Option<Vec<&Bitmap>> {
+        cube.pairs()
+            .map(|(d, r)| {
+                if (d as usize) < self.n_dims && (r as u32) < self.phi {
+                    Some(&self.postings[self.posting_index(d as usize, r)])
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl CubeCounter for WindowCounter {
+    fn count(&self, cube: &Cube) -> usize {
+        match self.cube_postings(cube) {
+            Some(maps) => Bitmap::intersection_count(&maps),
+            None => 0,
+        }
+    }
+
+    fn rows(&self, cube: &Cube) -> Vec<usize> {
+        let Some(maps) = self.cube_postings(cube) else {
+            return Vec::new();
+        };
+        let hit = Bitmap::intersection(&maps);
+        // Translate matching ring slots back to age order; enumerating
+        // `order` yields ages ascending already.
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| hit.get(slot))
+            .map(|(age, _)| age)
+            .collect()
+    }
+
+    fn n_rows(&self) -> usize {
+        self.order.len()
+    }
+
+    fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    fn phi(&self) -> u32 {
+        self.phi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+    use hdoutlier_data::generators::uniform;
+    use hdoutlier_index::NaiveCounter;
+
+    fn all_two_dim_cubes(n_dims: u32, phi: u16) -> Vec<Cube> {
+        let mut cubes = Vec::new();
+        for d0 in 0..n_dims {
+            for r0 in 0..phi {
+                cubes.push(Cube::new([(d0, r0)]).unwrap());
+                for d1 in (d0 + 1)..n_dims {
+                    for r1 in 0..phi {
+                        cubes.push(Cube::new([(d0, r0), (d1, r1)]).unwrap());
+                    }
+                }
+            }
+        }
+        cubes
+    }
+
+    #[test]
+    fn matches_naive_counter_on_identical_contents() {
+        // Window = the whole dataset → must agree with the batch oracle on
+        // every 1- and 2-dimensional cube.
+        let ds = uniform(300, 5, 42);
+        let disc = Discretized::new(&ds, 4, DiscretizeStrategy::EquiDepth).unwrap();
+        let naive = NaiveCounter::new(&disc);
+        let mut window = WindowCounter::new(300, 5, 4).unwrap();
+        for row in 0..disc.n_rows() {
+            window.push(disc.row(row)).unwrap();
+        }
+        assert_eq!(window.n_rows(), naive.n_rows());
+        for cube in all_two_dim_cubes(5, 4) {
+            assert_eq!(window.count(&cube), naive.count(&cube), "cube {cube}");
+            assert_eq!(window.rows(&cube), naive.rows(&cube), "cube {cube}");
+        }
+    }
+
+    #[test]
+    fn eviction_matches_fresh_window_over_suffix() {
+        // Push 2W rows through a W-window; it must equal a fresh window
+        // holding only the last W rows.
+        let ds = uniform(400, 4, 7);
+        let disc = Discretized::new(&ds, 5, DiscretizeStrategy::EquiDepth).unwrap();
+        let w = 150;
+        let mut rolling = WindowCounter::new(w, 4, 5).unwrap();
+        let mut evictions = 0;
+        for row in 0..disc.n_rows() {
+            if rolling.push(disc.row(row)).unwrap().is_some() {
+                evictions += 1;
+            }
+        }
+        assert_eq!(evictions, disc.n_rows() - w);
+        assert_eq!(rolling.total_pushed(), disc.n_rows() as u64);
+        let mut fresh = WindowCounter::new(w, 4, 5).unwrap();
+        for row in disc.n_rows() - w..disc.n_rows() {
+            fresh.push(disc.row(row)).unwrap();
+        }
+        for cube in all_two_dim_cubes(4, 5) {
+            assert_eq!(rolling.count(&cube), fresh.count(&cube), "cube {cube}");
+            assert_eq!(rolling.rows(&cube), fresh.rows(&cube), "cube {cube}");
+        }
+        for idx in 0..w {
+            assert_eq!(rolling.record(idx), fresh.record(idx));
+        }
+    }
+
+    #[test]
+    fn missing_cells_never_match() {
+        let mut window = WindowCounter::new(4, 2, 3).unwrap();
+        window.push(&[MISSING_CELL, 1]).unwrap();
+        window.push(&[0, MISSING_CELL]).unwrap();
+        let d0 = Cube::new([(0, 0)]).unwrap();
+        assert_eq!(window.count(&d0), 1);
+        assert_eq!(window.rows(&d0), vec![1]);
+        let both = Cube::new([(0, 0), (1, 1)]).unwrap();
+        assert_eq!(window.count(&both), 0);
+    }
+
+    #[test]
+    fn out_of_grid_cubes_count_zero() {
+        let mut window = WindowCounter::new(4, 2, 3).unwrap();
+        window.push(&[0, 1]).unwrap();
+        assert_eq!(window.count(&Cube::new([(5, 0)]).unwrap()), 0);
+        assert_eq!(window.count(&Cube::new([(0, 9)]).unwrap()), 0);
+        assert!(window.rows(&Cube::new([(5, 0)]).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(WindowCounter::new(0, 2, 3).is_err());
+        assert!(WindowCounter::new(4, 0, 3).is_err());
+        assert!(WindowCounter::new(4, 2, 0).is_err());
+        let mut window = WindowCounter::new(4, 2, 3).unwrap();
+        assert!(window.push(&[0]).is_err());
+        assert!(window.push(&[0, 3]).is_err()); // cell == phi
+        assert!(window.push(&[0, 2]).is_ok());
+    }
+
+    #[test]
+    fn fill_state_and_eviction_order() {
+        let mut window = WindowCounter::new(2, 1, 4).unwrap();
+        assert!(window.is_empty());
+        assert_eq!(window.push(&[0]).unwrap(), None);
+        assert_eq!(window.push(&[1]).unwrap(), None);
+        assert!(window.is_full());
+        // FIFO: oldest out first.
+        assert_eq!(window.push(&[2]).unwrap(), Some(vec![0]));
+        assert_eq!(window.push(&[3]).unwrap(), Some(vec![1]));
+        assert_eq!(window.record(0), Some(&[2u16][..]));
+        assert_eq!(window.record(1), Some(&[3u16][..]));
+        assert_eq!(window.record(2), None);
+        assert_eq!(window.len(), 2);
+    }
+}

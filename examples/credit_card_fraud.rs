@@ -22,8 +22,8 @@ use hdoutlier::baselines::{ramaswamy_top_n, Metric};
 use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier::data::dataset::Dataset;
 use hdoutlier::data::discretize::{DiscretizeStrategy, Discretized};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 const NAMES: [&str; 10] = [
     "txn_count",

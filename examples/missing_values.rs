@@ -15,8 +15,8 @@ use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier::data::clean::impute_mean;
 use hdoutlier::data::dataset::Dataset;
 use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 fn main() {
     let planted = planted_outliers(&PlantedConfig {

@@ -8,8 +8,8 @@
 
 use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 fn standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>();

@@ -19,8 +19,8 @@
 use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier::data::dataset::Dataset;
 use hdoutlier::data::discretize::{DiscretizeStrategy, Discretized};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
 
 const NAMES: [&str; 8] = [
     "duration_s",

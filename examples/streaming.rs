@@ -1,0 +1,106 @@
+//! The full streaming loop: train a model on history, then serve a live
+//! stream — scoring each record as it arrives, keeping a sliding window
+//! queryable for ad-hoc investigation, maintaining online equi-depth
+//! sketches, and re-fitting when the drift monitor says the grid went stale.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+
+use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
+use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier::index::{Cube, CubeCounter};
+use hdoutlier::stream::{OnlineScorer, StreamingDiscretizer, WindowCounter};
+
+fn main() {
+    // --- Offline: fit on historical data, as in `model_deployment`. ---
+    let history = planted_outliers(&PlantedConfig {
+        n_rows: 4000,
+        n_dims: 8,
+        n_outliers: 6,
+        strong_groups: Some(2),
+        seed: 2026,
+        ..PlantedConfig::default()
+    });
+    let model = OutlierDetector::builder()
+        .phi(5)
+        .k(2)
+        .m(10)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&history.dataset)
+        .expect("valid parameters");
+    let n_dims = model.grid().n_dims();
+    let phi = model.grid().phi();
+    println!(
+        "trained: {} projections, {n_dims} dims, phi={phi}",
+        model.projections().len()
+    );
+
+    // --- Online: the three streaming pieces. ---
+    let mut scorer = OnlineScorer::new(model).expect("phi >= 2");
+    scorer.set_check_every(1000).expect("positive cadence");
+    let mut window = WindowCounter::new(500, n_dims, phi).expect("valid window");
+    let mut sketches = StreamingDiscretizer::new(n_dims, phi, 0.01).expect("valid sketch");
+
+    // Fresh traffic from the same process (different seed), so the model's
+    // sparse cubes stay rare; after t=2000 the first attribute shifts — the
+    // drift monitor should notice.
+    let live = planted_outliers(&PlantedConfig {
+        n_rows: 3000,
+        n_dims: 8,
+        n_outliers: 5,
+        strong_groups: Some(2),
+        seed: 7,
+        ..PlantedConfig::default()
+    });
+    let mut flagged = 0usize;
+    for (t, fresh) in live.dataset.rows().enumerate() {
+        let mut record = fresh.to_vec();
+        if t >= 2000 {
+            record[0] += 4.0;
+        }
+
+        sketches.observe(&record).expect("shape");
+        let verdict = scorer.score_record(&record).expect("shape");
+        window.push(&verdict.cells).expect("cells fit the grid");
+
+        if verdict.outlier {
+            flagged += 1;
+            if flagged <= 3 {
+                println!(
+                    "t={t}: outlier, S = {:.2} ({} projection(s))",
+                    verdict.score.expect("matched"),
+                    verdict.matched.len()
+                );
+            }
+        }
+        if let Some(report) = &verdict.drift {
+            println!(
+                "t={t}: drift check — drifted dims {:?} (alpha {})",
+                report.drifted_dims, report.alpha
+            );
+        }
+    }
+    println!("{flagged} of 3000 streamed records flagged");
+
+    // The window answers the same cube queries the batch engines use, over
+    // just the most recent records.
+    let cube = Cube::new([(0, 0), (1, 0)]).expect("distinct dims");
+    println!(
+        "window: {} of the last {} records in cube {cube}",
+        window.count(&cube),
+        window.n_rows()
+    );
+
+    // The sketches can snapshot a fresh grid whenever a re-fit is wanted.
+    let fresh = sketches.grid_spec().expect("observed data");
+    println!(
+        "fresh grid boundaries, dim 0: {:?}",
+        fresh
+            .boundaries(0)
+            .iter()
+            .map(|b| format!("{b:.2}"))
+            .collect::<Vec<_>>()
+    );
+}

@@ -19,6 +19,7 @@ pub use hdoutlier_data as data;
 pub use hdoutlier_evolve as evolve;
 pub use hdoutlier_index as index;
 pub use hdoutlier_stats as stats;
+pub use hdoutlier_stream as stream;
 
 /// The most common imports, bundled.
 pub mod prelude {
@@ -29,5 +30,9 @@ pub mod prelude {
     pub use hdoutlier_stats::{
         empty_cube_coefficient, recommended_k, significance_of, sparsity_coefficient,
         SparsityParams,
+    };
+    pub use hdoutlier_stream::{
+        DriftMonitor, DriftReport, GkSketch, OnlineScorer, StreamingDiscretizer, Verdict,
+        WindowCounter,
     };
 }
