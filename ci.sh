@@ -7,3 +7,9 @@ cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Observability: unit tests for the in-tree tracing/metrics crate, then an
+# end-to-end smoke run of `detect --log-json --metrics-out` validated with
+# the in-tree JSON parser (crates/cli/tests/smoke.rs).
+cargo test -q --offline -p hdoutlier-obs
+cargo test -q --offline -p hdoutlier-cli --test smoke

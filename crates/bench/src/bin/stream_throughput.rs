@@ -2,7 +2,8 @@
 //! streaming layer, std-only (no criterion needed).
 //!
 //! ```text
-//! cargo run -p hdoutlier-bench --release --bin stream_throughput -- [n_rows] [n_dims]
+//! cargo run -p hdoutlier-bench --release --bin stream_throughput -- \
+//!     [n_rows] [n_dims] [--metrics-out <path>]
 //! ```
 //!
 //! Stages measured independently, then end-to-end:
@@ -10,14 +11,35 @@
 //! - window: `WindowCounter::push` (insert + evict postings maintenance)
 //! - score:  `OnlineScorer::score_record` (grid assign + projection match
 //!   + drift accounting)
+//!
+//! With `--metrics-out` the scorer's per-record latency histogram
+//! (`hdoutlier.stream.record_latency_us`) is enabled for the scoring
+//! stages, its percentiles are printed, and the full registry snapshot is
+//! written as NDJSON. Without the flag the timing gate stays off, so the
+//! wall-clock numbers measure the same code the `stream` subcommand runs
+//! by default.
 
 use hdoutlier_core::{OutlierDetector, SearchMethod};
 use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_obs as obs;
 use hdoutlier_stream::{OnlineScorer, StreamingDiscretizer, WindowCounter};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+        Some(i) if i + 1 < args.len() => {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("--metrics-out requires a path");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    obs::set_timing(metrics_out.is_some());
     let n_rows: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
     let n_dims: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let phi = 5u32;
@@ -98,6 +120,21 @@ fn main() {
             .map(|d| disc.sketch(d).summary_size())
             .collect::<Vec<_>>()
     );
+
+    if let Some(path) = metrics_out {
+        let latency = obs::registry()
+            .histogram("hdoutlier.stream.record_latency_us")
+            .snapshot();
+        println!(
+            "record latency (us): n={} p50={:.1} p90={:.1} p99={:.1} max={:.1}",
+            latency.count, latency.p50, latency.p90, latency.p99, latency.max
+        );
+        if let Err(e) = std::fs::write(&path, obs::registry().snapshot_ndjson()) {
+            eprintln!("failed to write metrics {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics snapshot written to {path}");
+    }
 }
 
 fn report(stage: &str, n: usize, elapsed: std::time::Duration) {

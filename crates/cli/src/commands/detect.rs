@@ -1,9 +1,9 @@
 //! `hdoutlier detect` — run the subspace detector on a CSV file.
 
 use super::{load_dataset, parse_or_usage, usage_err};
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json, JsonError};
+use crate::obs_setup::{self, ObsSession};
 use hdoutlier_core::crossover::CrossoverKind;
 use hdoutlier_core::detector::{OutlierDetector, SearchMethod};
 use hdoutlier_core::params::advise;
@@ -33,11 +33,14 @@ OPTIONS:
     --no-header          first row is data, not column names
     --json               emit a JSON report instead of text
     --quiet              print only the outlier row indices
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
 ";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &[
             "phi",
             "k",
@@ -58,6 +61,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
 
     macro_rules! flag {
@@ -157,27 +164,31 @@ pub fn run(argv: &[String]) -> (i32, String) {
         }
     }
 
-    if parsed.has("quiet") {
+    let (code, out) = if parsed.has("quiet") {
         let rows: Vec<String> = report.outlier_rows.iter().map(usize::to_string).collect();
-        return (exit::OK, rows.join("\n") + "\n");
-    }
-    if parsed.has("json") {
-        return match render_json(&report, &disc) {
+        (exit::OK, rows.join("\n") + "\n")
+    } else if parsed.has("json") {
+        match render_json(&report, &disc, session.wants_metrics()) {
             Ok(json) => (exit::OK, json.pretty() + "\n"),
-            Err(e) => (exit::RUNTIME, format!("failed to render report: {e}")),
-        };
+            Err(e) => return (exit::RUNTIME, format!("failed to render report: {e}")),
+        }
+    } else {
+        (exit::OK, render_text(&report, &disc))
+    };
+    if let Err(e) = session.finish() {
+        return (exit::RUNTIME, e);
     }
-    (exit::OK, render_text(&report, &disc))
+    (code, out)
 }
 
 fn render_text(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{} sparse projection(s); {} outlier row(s); search: {} units of work in {:?}\n\n",
+        "{} sparse projection(s); {} outlier row(s); search: {} units of work in {}\n\n",
         report.projections.len(),
         report.outlier_rows.len(),
         report.stats.work,
-        report.stats.elapsed,
+        obs_setup::fmt_elapsed(report.stats.elapsed),
     ));
     for i in 0..report.projections.len() {
         out.push_str(&format!("{:>3}. {}\n", i + 1, report.explain(i, disc)));
@@ -191,6 +202,7 @@ fn render_text(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> St
 fn render_json(
     report: &hdoutlier_core::OutlierReport,
     disc: &Discretized,
+    with_metrics: bool,
 ) -> Result<Json, JsonError> {
     let projections: Vec<Json> = report
         .projections
@@ -207,7 +219,7 @@ fn render_json(
                 .field("rows", rows.clone())
         })
         .collect::<Result<_, _>>()?;
-    Json::object()
+    let mut json = Json::object()
         .field("projections", Json::Array(projections))
         .field("outlier_rows", report.outlier_rows.clone())
         .field(
@@ -216,8 +228,12 @@ fn render_json(
                 .field("work", report.stats.work)
                 .field("generations", report.stats.generations)
                 .field("completed", report.stats.completed)
-                .field("elapsed_ms", report.stats.elapsed.as_secs_f64() * 1e3)?,
-        )
+                .field("elapsed_ms", obs_setup::elapsed_ms(report.stats.elapsed))?,
+        );
+    if with_metrics {
+        json = json.field("metrics", obs_setup::metrics_json()?);
+    }
+    json
 }
 
 #[cfg(test)]

@@ -2,10 +2,10 @@
 //! training data.
 
 use super::{load_dataset, parse_or_usage};
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json};
 use crate::model_io;
+use crate::obs_setup::{self, ObsSession};
 
 /// Per-command help.
 pub const HELP: &str = "\
@@ -21,17 +21,24 @@ OPTIONS:
     --no-header          first row is data
     --json               emit JSON
     --all                print every record (default: only outliers)
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
 ";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &["model", "label-column", "delimiter"],
         &["json", "all", "no-header"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
     let Some(model_path) = parsed.get("model") else {
         return (exit::USAGE, format!("--model is required\n\n{HELP}"));
@@ -64,7 +71,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         Err(e) => return (exit::RUNTIME, format!("scoring failed: {e}")),
     };
     let show_all = parsed.has("all");
-    if parsed.has("json") {
+    let out = if parsed.has("json") {
         let j = scores
             .iter()
             .enumerate()
@@ -76,27 +83,36 @@ pub fn run(argv: &[String]) -> (i32, String) {
             })
             .collect::<Result<Vec<Json>, _>>()
             .and_then(|items| {
-                Json::object()
+                let mut j = Json::object()
                     .field("records", dataset.n_rows())
                     .field("outliers", scores.iter().filter(|s| s.is_some()).count())
-                    .field("scored", Json::Array(items))
+                    .field("scored", Json::Array(items));
+                if session.wants_metrics() {
+                    j = j.field("metrics", obs_setup::metrics_json()?);
+                }
+                j
             });
-        return match j {
-            Ok(j) => (exit::OK, j.pretty() + "\n"),
-            Err(e) => (exit::RUNTIME, format!("failed to render scores: {e}")),
-        };
-    }
-    let mut out = format!(
-        "{} of {} records match an abnormal projection\n",
-        scores.iter().filter(|s| s.is_some()).count(),
-        dataset.n_rows()
-    );
-    for (row, s) in scores.iter().enumerate() {
-        match s {
-            Some(score) => out.push_str(&format!("  row {row:>6}  S = {score:.3}\n")),
-            None if show_all => out.push_str(&format!("  row {row:>6}  -\n")),
-            None => {}
+        match j {
+            Ok(j) => j.pretty() + "\n",
+            Err(e) => return (exit::RUNTIME, format!("failed to render scores: {e}")),
         }
+    } else {
+        let mut out = format!(
+            "{} of {} records match an abnormal projection\n",
+            scores.iter().filter(|s| s.is_some()).count(),
+            dataset.n_rows()
+        );
+        for (row, s) in scores.iter().enumerate() {
+            match s {
+                Some(score) => out.push_str(&format!("  row {row:>6}  S = {score:.3}\n")),
+                None if show_all => out.push_str(&format!("  row {row:>6}  -\n")),
+                None => {}
+            }
+        }
+        out
+    };
+    if let Err(e) = session.finish() {
+        return (exit::RUNTIME, e);
     }
     (exit::OK, out)
 }

@@ -2,10 +2,10 @@
 //! verdict per record, using a model saved by `detect --save-model`.
 
 use super::parse_or_usage;
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json, JsonError};
 use crate::model_io;
+use crate::obs_setup::{self, ObsSession};
 use hdoutlier_stream::{DriftReport, OnlineScorer, Verdict};
 use std::io::{BufRead, Write};
 
@@ -29,6 +29,9 @@ OPTIONS:
     --outliers-only      emit verdicts only for flagged records
     --drift-alpha <a>    drift-test significance level (default 0.01)
     --drift-every <n>    records between drift checks (default 512)
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable per-record latency metrics, snapshot to <p> at EOF
 ";
 
 /// Runs the subcommand against real stdin, writing each verdict to stdout
@@ -53,13 +56,17 @@ pub fn run_with_input(argv: &[String], input: impl BufRead) -> (i32, String) {
 /// The streaming core: verdicts go to `sink` record by record; the returned
 /// string carries only usage/runtime error text (empty on success).
 fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &["model", "delimiter", "drift-alpha", "drift-every"],
         &["no-header", "outliers-only"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
     if let Some(path) = parsed.positional().first() {
         return (
@@ -149,13 +156,19 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
             // Downstream closing the pipe (`| head`) is a normal way for a
             // stream consumer to stop; anything else is a real failure.
             return if e.kind() == std::io::ErrorKind::BrokenPipe {
-                (exit::OK, String::new())
+                match session.finish() {
+                    Ok(()) => (exit::OK, String::new()),
+                    Err(e) => (exit::RUNTIME, e),
+                }
             } else {
                 (exit::RUNTIME, format!("stdout write failed: {e}"))
             };
         }
     }
-    (exit::OK, String::new())
+    match session.finish() {
+        Ok(()) => (exit::OK, String::new()),
+        Err(e) => (exit::RUNTIME, e),
+    }
 }
 
 /// Splits one CSV line into `n_dims` numbers (missing markers become NaN).
@@ -369,6 +382,46 @@ mod tests {
         assert!(
             dims.iter().any(|d| d.as_number() == Some(0.0)),
             "{report_line}"
+        );
+    }
+
+    #[test]
+    fn metrics_out_writes_parseable_ndjson() {
+        let (csv_text, model_path, _) = trained("stream-metrics");
+        let metrics_path = model_path.with_extension("metrics.ndjson");
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--metrics-out",
+                metrics_path.to_str().unwrap(),
+            ]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        let snapshot = std::fs::read_to_string(&metrics_path).unwrap();
+        let mut names = Vec::new();
+        for line in snapshot.lines() {
+            let j = Json::parse(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+            names.push(
+                j.get("metric")
+                    .and_then(Json::as_str)
+                    .expect("metric name")
+                    .to_string(),
+            );
+            assert!(j.get("type").is_some(), "{line}");
+        }
+        // The stream counters show up; totals are process-global, so only
+        // assert presence (other in-process tests also stream records).
+        assert!(
+            names.iter().any(|n| n == "hdoutlier.stream.records"),
+            "{names:?}"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n == "hdoutlier.stream.record_latency_us"),
+            "{names:?}"
         );
     }
 

@@ -12,12 +12,15 @@
 //!   files are simple enough that escaping + nesting is all that is needed);
 //! - [`commands`]: the `detect`, `score`, `stream`, `explain`, `advise` and
 //!   `baseline` subcommands, returning their output as a string so tests
-//!   can assert on it.
+//!   can assert on it;
+//! - [`obs_setup`]: the shared `--log-level` / `--log-json` /
+//!   `--metrics-out` observability flags and the metrics snapshot helpers.
 
 pub mod args;
 pub mod commands;
 pub mod json;
 pub mod model_io;
+pub mod obs_setup;
 
 /// Exit codes used by the binary.
 pub mod exit {

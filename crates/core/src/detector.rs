@@ -16,8 +16,32 @@ use crate::report::{OutlierReport, SearchStats};
 use hdoutlier_data::{DataError, Dataset, DiscretizeStrategy, Discretized};
 use hdoutlier_evolve::SelectionScheme;
 use hdoutlier_index::{BitmapCounter, CachedCounter, CubeCounter};
+use hdoutlier_obs as obs;
 use std::fmt;
 use std::time::Instant;
+
+/// Event target for the detector pipeline.
+const TARGET: &str = "hdoutlier.core";
+
+/// Runs one pipeline phase, recording its duration into
+/// `hdoutlier.core.<name>_us` and emitting an Info event. Phases run once
+/// per detect call, so the two clock reads are always paid — the metric is
+/// populated even when no sink is installed.
+fn phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    let us = start.elapsed().as_micros() as u64;
+    obs::registry()
+        .histogram(&format!("hdoutlier.core.{name}_us"))
+        .record(us as f64);
+    obs::event(
+        obs::Level::Info,
+        TARGET,
+        name,
+        &[("elapsed_us", obs::Value::U64(us))],
+    );
+    out
+}
 
 /// Which search locates the sparse projections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,7 +180,9 @@ impl OutlierDetector {
             .config
             .phi
             .unwrap_or_else(|| advise(dataset.n_rows() as u64, self.config.target_sparsity).phi);
-        let disc = Discretized::new(dataset, phi, self.config.strategy)?;
+        let disc = phase("discretize", || {
+            Discretized::new(dataset, phi, self.config.strategy)
+        })?;
         self.detect_discretized(&disc)
     }
 
@@ -173,7 +199,25 @@ impl OutlierDetector {
                 d: disc.n_dims(),
             });
         }
-        let counter = BitmapCounter::new(disc);
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "detect",
+            &[
+                ("rows", obs::Value::U64(disc.n_rows() as u64)),
+                ("dims", obs::Value::U64(disc.n_dims() as u64)),
+                ("k", obs::Value::U64(k as u64)),
+                ("m", obs::Value::U64(self.config.m as u64)),
+                (
+                    "method",
+                    obs::Value::Str(match self.config.search {
+                        SearchMethod::BruteForce => "brute",
+                        SearchMethod::Evolutionary => "evolutionary",
+                    }),
+                ),
+            ],
+        );
+        let counter = phase("index", || BitmapCounter::new(disc));
         let report = match self.config.search {
             SearchMethod::BruteForce => self.run_brute(&counter, k),
             SearchMethod::Evolutionary => {
@@ -209,7 +253,24 @@ impl OutlierDetector {
             completed: outcome.completed,
             elapsed: start.elapsed(),
         };
-        OutlierReport::from_scored(outcome.best, &fitness, stats)
+        let us = stats.elapsed.as_micros() as u64;
+        obs::registry()
+            .histogram("hdoutlier.core.search_us")
+            .record(us as f64);
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "search",
+            &[
+                ("method", obs::Value::Str("brute")),
+                ("candidates", obs::Value::U64(stats.work)),
+                ("completed", obs::Value::Bool(stats.completed)),
+                ("elapsed_us", obs::Value::U64(us)),
+            ],
+        );
+        phase("postprocess", || {
+            OutlierReport::from_scored(outcome.best, &fitness, stats)
+        })
     }
 
     fn run_evolutionary<C: CubeCounter>(&self, counter: &C, k: usize) -> OutlierReport {
@@ -237,7 +298,25 @@ impl OutlierDetector {
             completed: outcome.converged,
             elapsed: start.elapsed(),
         };
-        OutlierReport::from_scored(outcome.best, &fitness, stats)
+        let us = stats.elapsed.as_micros() as u64;
+        obs::registry()
+            .histogram("hdoutlier.core.search_us")
+            .record(us as f64);
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "search",
+            &[
+                ("method", obs::Value::Str("evolutionary")),
+                ("evaluations", obs::Value::U64(stats.work)),
+                ("generations", obs::Value::U64(stats.generations as u64)),
+                ("converged", obs::Value::Bool(stats.completed)),
+                ("elapsed_us", obs::Value::U64(us)),
+            ],
+        );
+        phase("postprocess", || {
+            OutlierReport::from_scored(outcome.best, &fitness, stats)
+        })
     }
 }
 

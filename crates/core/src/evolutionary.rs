@@ -11,7 +11,7 @@ use crate::fitness::SparsityFitness;
 use crate::mutation::{mutate, MutationConfig};
 use crate::projection::Projection;
 use crate::report::ScoredProjection;
-use hdoutlier_evolve::{Engine, EngineConfig, EvolutionaryProblem, SelectionScheme, Termination};
+use hdoutlier_evolve::{Engine, EngineConfig, EvolutionaryProblem, SelectionScheme};
 use hdoutlier_index::CubeCounter;
 use hdoutlier_rng::rngs::StdRng;
 
@@ -215,9 +215,9 @@ pub fn evolutionary_search<C: CubeCounter>(
 
     EvolutionaryOutcome {
         best: scored,
-        generations: stats.generations,
+        generations: stats.generations_run,
         evaluations: stats.evaluations,
-        converged: stats.termination == Termination::Converged,
+        converged: stats.converged,
     }
 }
 

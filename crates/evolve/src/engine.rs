@@ -14,10 +14,57 @@
 //! the outlier detector maintains its deduplicated best-m set without the
 //! engine knowing anything about projections.
 
-use crate::convergence::population_converged;
+use crate::convergence::{gene_convergence, population_converged};
 use crate::selection::SelectionScheme;
+use hdoutlier_obs as obs;
 use hdoutlier_rng::rngs::StdRng;
 use hdoutlier_rng::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Event target for everything the engine emits.
+const TARGET: &str = "hdoutlier.evolve";
+
+/// Metric handles resolved once per run (resolution takes the registry
+/// lock; updates are lock-free).
+struct EngineMetrics {
+    generations: obs::Counter,
+    evaluations: obs::Counter,
+    selection_us: obs::Histogram,
+    crossover_us: obs::Histogram,
+    mutation_us: obs::Histogram,
+    evaluate_us: obs::Histogram,
+    generation_us: obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Self {
+        let r = obs::registry();
+        EngineMetrics {
+            generations: r.counter("hdoutlier.evolve.generations"),
+            evaluations: r.counter("hdoutlier.evolve.evaluations"),
+            selection_us: r.histogram("hdoutlier.evolve.selection_us"),
+            crossover_us: r.histogram("hdoutlier.evolve.crossover_us"),
+            mutation_us: r.histogram("hdoutlier.evolve.mutation_us"),
+            evaluate_us: r.histogram("hdoutlier.evolve.evaluate_us"),
+            generation_us: r.histogram("hdoutlier.evolve.generation_us"),
+        }
+    }
+}
+
+/// Elapsed microseconds of `f`, recording into `hist` and returning the
+/// elapsed count alongside the result. When `timed` is false no clock is
+/// read and the reported elapsed is 0.
+fn timed_stage<T>(timed: bool, hist: &obs::Histogram, f: impl FnOnce() -> T) -> (T, u64) {
+    if timed {
+        let start = Instant::now();
+        let out = f();
+        let us = start.elapsed().as_micros() as u64;
+        hist.record(us as f64);
+        (out, us)
+    } else {
+        (f(), 0)
+    }
+}
 
 /// A problem the engine can evolve. Fitness is minimized.
 pub trait EvolutionaryProblem {
@@ -96,17 +143,35 @@ pub enum Termination {
     Stalled,
 }
 
+impl Termination {
+    /// Short lower-case name, as emitted in run-summary events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Termination::Converged => "converged",
+            Termination::MaxGenerations => "max_generations",
+            Termination::Stalled => "stalled",
+        }
+    }
+}
+
 /// Summary of one run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
     /// Generations executed (selection+crossover+mutation cycles).
-    pub generations: usize,
+    pub generations_run: usize,
     /// Total fitness evaluations.
     pub evaluations: u64,
     /// Best fitness ever observed.
     pub best_fitness: f64,
-    /// A genome achieving `best_fitness` (the first one seen).
+    /// Why the run ended.
     pub termination: Termination,
+    /// Whether the run ended by De Jong convergence (shorthand for
+    /// `termination == Termination::Converged`).
+    pub converged: bool,
+    /// Best fitness of each evaluated population, in order: entry 0 is the
+    /// seed population, entry `i > 0` is generation `i` (after elitism).
+    /// Length is `generations_run + 1`.
+    pub best_history: Vec<f64>,
 }
 
 /// The evolutionary engine (Fig. 3).
@@ -128,6 +193,11 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
     /// Runs to termination. `observer` sees every `(genome, fitness)`
     /// evaluation, including the seed population, in evaluation order.
     pub fn run<F: FnMut(&P::Genome, f64)>(&self, mut observer: F) -> RunStats {
+        let metrics = EngineMetrics::resolve();
+        // Stage timing costs four clock reads per generation; spend them
+        // only when someone collects the numbers (debug logging or an
+        // explicit metrics request).
+        let timed = obs::enabled(obs::Level::Debug) || obs::timing_enabled();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let p = self.config.population;
         let mut population: Vec<P::Genome> = (0..p)
@@ -151,7 +221,22 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
                     .collect()
             };
 
-        let mut fitness = evaluate(&population, &mut observer, &mut evaluations, &mut best);
+        let gen_best = |fitness: &[f64]| fitness.iter().copied().fold(f64::INFINITY, f64::min);
+
+        let (mut fitness, _) = timed_stage(timed, &metrics.evaluate_us, || {
+            evaluate(&population, &mut observer, &mut evaluations, &mut best)
+        });
+        metrics.evaluations.add(evaluations);
+        let mut best_history = vec![gen_best(&fitness)];
+        obs::event(
+            obs::Level::Debug,
+            TARGET,
+            "seed",
+            &[
+                ("population", obs::Value::U64(p as u64)),
+                ("best", obs::Value::F64(best)),
+            ],
+        );
 
         let mut generations = 0usize;
         let mut stall = 0usize;
@@ -185,27 +270,43 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
                 }
             }
 
+            let gen_start = if timed { Some(Instant::now()) } else { None };
+
             // Selection.
-            let parents = self.config.selection.select(&fitness, &mut rng);
-            let mut next: Vec<P::Genome> = parents.iter().map(|&i| population[i].clone()).collect();
+            let (mut next, selection_us) = timed_stage(timed, &metrics.selection_us, || {
+                let parents = self.config.selection.select(&fitness, &mut rng);
+                parents
+                    .iter()
+                    .map(|&i| population[i].clone())
+                    .collect::<Vec<P::Genome>>()
+            });
 
             // Crossover: match pairwise (Fig. 5 "match the solutions in the
             // population pairwise"); an odd trailing member passes through.
-            for pair in (0..next.len() / 2).map(|i| 2 * i) {
-                let (a, b) = (next[pair].clone(), next[pair + 1].clone());
-                let (c, d) = self.problem.crossover(&a, &b, &mut rng);
-                next[pair] = c;
-                next[pair + 1] = d;
-            }
+            let (_, crossover_us) = timed_stage(timed, &metrics.crossover_us, || {
+                for pair in (0..next.len() / 2).map(|i| 2 * i) {
+                    let (a, b) = (next[pair].clone(), next[pair + 1].clone());
+                    let (c, d) = self.problem.crossover(&a, &b, &mut rng);
+                    next[pair] = c;
+                    next[pair + 1] = d;
+                }
+            });
 
             // Mutation.
-            for genome in next.iter_mut() {
-                self.problem.mutate(genome, &mut rng);
-            }
+            let (_, mutation_us) = timed_stage(timed, &metrics.mutation_us, || {
+                for genome in next.iter_mut() {
+                    self.problem.mutate(genome, &mut rng);
+                }
+            });
 
             population = next;
             let before = best;
-            fitness = evaluate(&population, &mut observer, &mut evaluations, &mut best);
+            let evals_before = evaluations;
+            let (new_fitness, evaluate_us) = timed_stage(timed, &metrics.evaluate_us, || {
+                evaluate(&population, &mut observer, &mut evaluations, &mut best)
+            });
+            fitness = new_fitness;
+            metrics.evaluations.add(evaluations - evals_before);
 
             // Elitism: reinstate the previous generation's best genomes over
             // this generation's worst (using the already-computed fitness of
@@ -232,15 +333,73 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
                     .collect();
             }
 
+            best_history.push(gen_best(&fitness));
+            metrics.generations.inc();
+            if let Some(start) = gen_start {
+                metrics
+                    .generation_us
+                    .record(start.elapsed().as_micros() as f64);
+            }
+            if obs::enabled(obs::Level::Debug) {
+                // Convergence fraction and population statistics are only
+                // computed when someone is listening at Debug — the loop's
+                // own convergence test reuses none of this.
+                let views: Vec<Vec<u32>> = population
+                    .iter()
+                    .map(|g| self.problem.gene_view(g))
+                    .collect();
+                let convergence = gene_convergence(&views).into_iter().fold(1.0f64, f64::min);
+                let finite: Vec<f64> = fitness.iter().copied().filter(|f| f.is_finite()).collect();
+                let mean = if finite.is_empty() {
+                    f64::NAN
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                };
+                obs::event(
+                    obs::Level::Debug,
+                    TARGET,
+                    "generation",
+                    &[
+                        ("generation", obs::Value::U64(generations as u64 + 1)),
+                        ("best", obs::Value::F64(best)),
+                        ("gen_best", obs::Value::F64(gen_best(&fitness))),
+                        ("mean", obs::Value::F64(mean)),
+                        (
+                            "infeasible",
+                            obs::Value::U64((fitness.len() - finite.len()) as u64),
+                        ),
+                        ("convergence", obs::Value::F64(convergence)),
+                        ("selection_us", obs::Value::U64(selection_us)),
+                        ("crossover_us", obs::Value::U64(crossover_us)),
+                        ("mutation_us", obs::Value::U64(mutation_us)),
+                        ("evaluate_us", obs::Value::U64(evaluate_us)),
+                    ],
+                );
+            }
+
             stall = if best < before { 0 } else { stall + 1 };
             generations += 1;
         };
 
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "run",
+            &[
+                ("generations", obs::Value::U64(generations as u64)),
+                ("evaluations", obs::Value::U64(evaluations)),
+                ("best_fitness", obs::Value::F64(best)),
+                ("termination", obs::Value::Str(termination.as_str())),
+            ],
+        );
+
         RunStats {
-            generations,
+            generations_run: generations,
             evaluations,
             best_fitness: best,
             termination,
+            converged: termination == Termination::Converged,
+            best_history,
         }
     }
 
@@ -338,9 +497,17 @@ mod tests {
             stats.best_fitness <= -22.0,
             "best {} after {} generations",
             stats.best_fitness,
-            stats.generations
+            stats.generations_run
         );
         assert!(stats.evaluations >= 60);
+        assert_eq!(stats.best_history.len(), stats.generations_run + 1);
+        // The history's global minimum is the best fitness ever seen.
+        let hist_min = stats
+            .best_history
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(hist_min, stats.best_fitness);
     }
 
     #[test]
@@ -359,7 +526,7 @@ mod tests {
             let engine = Engine::new(&problem, cfg.clone());
             let mut trace = Vec::new();
             let stats = engine.run(|_, f| trace.push(f));
-            (trace, stats.best_fitness, stats.generations)
+            (trace, stats.best_fitness, stats.generations_run)
         };
         assert_eq!(run(&config), run(&config));
         let other = EngineConfig {
@@ -393,9 +560,11 @@ mod tests {
         }
         let engine = Engine::new(&Constant, EngineConfig::default());
         let stats = engine.run(|_, _| {});
-        assert_eq!(stats.generations, 0);
+        assert_eq!(stats.generations_run, 0);
         assert_eq!(stats.termination, Termination::Converged);
+        assert!(stats.converged);
         assert_eq!(stats.evaluations, 100);
+        assert_eq!(stats.best_history, vec![0.0]);
     }
 
     #[test]
@@ -415,8 +584,10 @@ mod tests {
             },
         );
         let stats = engine.run(|_, _| {});
-        assert_eq!(stats.generations, 5);
+        assert_eq!(stats.generations_run, 5);
         assert_eq!(stats.termination, Termination::MaxGenerations);
+        assert!(!stats.converged);
+        assert_eq!(stats.best_history.len(), 6); // seed + 5 generations
     }
 
     #[test]
@@ -453,7 +624,8 @@ mod tests {
         );
         let stats = engine.run(|_, _| {});
         assert_eq!(stats.termination, Termination::Stalled);
-        assert!(stats.generations <= 10);
+        assert!(!stats.converged);
+        assert!(stats.generations_run <= 10);
     }
 
     #[test]

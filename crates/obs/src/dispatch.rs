@@ -1,0 +1,203 @@
+//! The global dispatcher: one process-wide level filter, sink slot, and
+//! monotonic epoch.
+//!
+//! Disabled cost is the design constraint: [`enabled`] is a single relaxed
+//! atomic load, and every emit helper checks it before touching the sink
+//! lock or building anything. Hot paths that would need `Instant::now`
+//! *before* knowing whether anyone is listening (per-record latency in the
+//! streaming scorer) gate on [`timing_enabled`] instead, which is flipped
+//! explicitly by whoever wants the numbers (the CLI's `--metrics-out`, the
+//! benches).
+
+use crate::event::{EventRecord, Field, Value};
+use crate::level::Level;
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// 0 = off; otherwise the admitted `Level as u8`.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Whether hot paths should spend `Instant::now` calls on per-record timing.
+static TIMING: AtomicBool = AtomicBool::new(false);
+/// The installed sink, if any.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+/// Monotonic epoch for event timestamps.
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Whether an event at `level` would reach a sink. One relaxed atomic load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// The current filter, `None` when logging is off.
+pub fn max_level() -> Option<Level> {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Sets the filter without touching the sink (`None` = off).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether hot-path wall-clock timing is on. One relaxed atomic load.
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// Turns hot-path wall-clock timing on or off.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Installs a sink and admits events at `level` and below (in severity).
+/// Replaces any previous sink. The monotonic epoch is pinned on first
+/// install, so timestamps from successive runs in one process share an
+/// origin.
+pub fn install(sink: Arc<dyn Sink>, level: Level) {
+    let _ = START.get_or_init(Instant::now);
+    *SINK.write().expect("sink lock") = Some(sink);
+    set_max_level(Some(level));
+}
+
+/// Removes the sink and turns the filter off.
+pub fn uninstall() {
+    set_max_level(None);
+    *SINK.write().expect("sink lock") = None;
+}
+
+/// Microseconds since the dispatcher epoch (pinned on first use).
+pub fn ts_us() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Emits one event. A no-op (no allocation, no lock) unless [`enabled`]
+/// says a sink wants it.
+pub fn event(level: Level, target: &str, name: &str, fields: &[Field<'_>]) {
+    if !enabled(level) {
+        return;
+    }
+    let guard = SINK.read().expect("sink lock");
+    if let Some(sink) = guard.as_ref() {
+        sink.emit(&EventRecord {
+            ts_us: ts_us(),
+            level,
+            target,
+            name,
+            fields,
+        });
+    }
+}
+
+/// A scope timer: emits `<name>` with an `elapsed_us` field when dropped.
+/// Created disabled (no `Instant::now`, no emit on drop) when the level is
+/// filtered out at entry.
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+}
+
+impl Span {
+    /// Elapsed microseconds so far; `None` when the span is disabled.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let us = start.elapsed().as_micros() as u64;
+            event(
+                self.level,
+                self.target,
+                self.name,
+                &[("elapsed_us", Value::U64(us))],
+            );
+        }
+    }
+}
+
+/// Opens a [`Span`]. `target` and `name` are `'static` so the guard stores
+/// them without allocating.
+pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
+    Span {
+        start: enabled(level).then(Instant::now),
+        level,
+        target,
+        name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CaptureSink;
+    use std::sync::Mutex;
+
+    /// The dispatcher is process-global; tests that touch it serialize here.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn filter_sink_and_span_lifecycle() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        assert!(!enabled(Level::Error));
+        assert_eq!(max_level(), None);
+        // Emitting with no sink is a no-op, not a panic.
+        event(Level::Error, "hdoutlier.test", "ignored", &[]);
+        {
+            let s = span(Level::Info, "hdoutlier.test", "dead");
+            assert_eq!(s.elapsed_us(), None);
+        }
+
+        let capture = Arc::new(CaptureSink::default());
+        install(capture.clone(), Level::Info);
+        assert!(enabled(Level::Error) && enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        assert_eq!(max_level(), Some(Level::Info));
+
+        event(Level::Debug, "hdoutlier.test", "filtered", &[]);
+        event(
+            Level::Info,
+            "hdoutlier.test",
+            "kept",
+            &[("n", Value::U64(1))],
+        );
+        {
+            let s = span(Level::Info, "hdoutlier.test", "work");
+            assert!(s.elapsed_us().is_some());
+        }
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"event\":\"kept\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"event\":\"work\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"elapsed_us\":"), "{}", lines[1]);
+
+        uninstall();
+        event(Level::Error, "hdoutlier.test", "after", &[]);
+        assert_eq!(capture.lines().len(), 2);
+    }
+
+    #[test]
+    fn timing_flag_flips() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        set_timing(false);
+        assert!(!timing_enabled());
+        set_timing(true);
+        assert!(timing_enabled());
+        set_timing(false);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let a = ts_us();
+        let b = ts_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,131 @@
+//! Severity levels, ordered `Error < Warn < Info < Debug < Trace`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity. The numeric representation is the verbosity rank used by
+/// the dispatcher's level filter: a filter at [`Level::Info`] admits
+/// `Error`, `Warn`, and `Info`.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 1,
+    /// Suspicious but survivable conditions (drift alerts, stale grids).
+    Warn = 2,
+    /// Pipeline milestones (per-phase spans of a detect run).
+    Info = 3,
+    /// Per-generation / per-batch telemetry.
+    Debug = 4,
+    /// Per-record firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Lower-case name (`"info"`), as rendered by the NDJSON sink.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Upper-case fixed-width name (`"INFO "`), for column-aligned human
+    /// output.
+    pub fn padded(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<Level> {
+        Level::ALL.into_iter().find(|&l| l as u8 == v)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Failure parsing a [`Level`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown level {:?} (expected error|warn|info|debug|trace)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        for w in Level::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+            assert_eq!(Level::from_u8(l as u8), Some(l));
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        let err = "loud".parse::<Level>().unwrap_err();
+        assert!(err.to_string().contains("loud"));
+        assert_eq!(Level::from_u8(0), None);
+        assert_eq!(Level::from_u8(6), None);
+    }
+
+    #[test]
+    fn padded_names_are_fixed_width() {
+        for l in Level::ALL {
+            assert_eq!(l.padded().len(), 5);
+        }
+    }
+}

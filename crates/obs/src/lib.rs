@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! In-tree tracing and metrics for the hdoutlier workspace.
+//!
+//! The workspace is hermetic — no crates.io — so this crate is a miniature
+//! of the `tracing` + `metrics` ecosystem, scoped to what the detector,
+//! evolutionary engine, streaming scorer, and CLI actually need:
+//!
+//! - **Events and spans** ([`event`], [`span`]) with [`Level`]s, dotted
+//!   targets (`hdoutlier.core`, `hdoutlier.evolve`, …), and monotonic
+//!   microsecond timestamps measured from dispatcher start. When no sink is
+//!   installed the entire emit path is one relaxed atomic load and no
+//!   allocation: fields are borrowed slices of [`Value`]s on the caller's
+//!   stack.
+//! - **Metrics** ([`registry`]): named [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s (p50/p90/p99 summaries), all lock-free on
+//!   the hot path (atomics only; the registry mutex is touched only when a
+//!   handle is first resolved). Wall-clock timing of per-record hot paths
+//!   is additionally gated behind [`timing_enabled`] so a disabled stream
+//!   pipeline never calls `Instant::now`.
+//! - **Sinks** ([`Sink`]): human-readable stderr ([`StderrSink`]), NDJSON
+//!   over any writer ([`NdjsonSink`]), and an in-memory [`CaptureSink`]
+//!   for tests — selected at runtime via [`install`].
+//!
+//! Naming scheme: every event target and metric is
+//! `hdoutlier.<crate>.<name>` (see `docs/metrics.md` in the repo root for
+//! the full inventory).
+//!
+//! ```
+//! use hdoutlier_obs as obs;
+//!
+//! let hits = obs::registry().counter("hdoutlier.doc.hits");
+//! hits.inc();
+//! let latency = obs::registry().histogram("hdoutlier.doc.latency_us");
+//! latency.record(42.0);
+//! obs::event(
+//!     obs::Level::Info,
+//!     "hdoutlier.doc",
+//!     "served",
+//!     &[("hits", obs::Value::U64(hits.get()))],
+//! );
+//! assert!(latency.snapshot().count == 1);
+//! ```
+
+mod dispatch;
+mod event;
+mod level;
+mod metrics;
+mod sink;
+
+pub use dispatch::{
+    enabled, event, install, max_level, set_max_level, set_timing, span, timing_enabled, ts_us,
+    uninstall, Span,
+};
+pub use event::{EventRecord, Field, Value};
+pub use level::{Level, ParseLevelError};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry,
+    SnapshotValue, DURATION_US_BOUNDS,
+};
+pub use sink::{render_human, render_ndjson, CaptureSink, NdjsonSink, Sink, StderrSink};

@@ -1,0 +1,548 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; updates are plain atomic
+//! operations so the streaming hot path can record without locking. The
+//! registry's mutex is touched only when a handle is first resolved by
+//! name — resolve once, store the handle, update forever.
+
+use crate::sink::escape_json_into;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default histogram bounds for microsecond durations: a 1–2–5 ladder from
+/// 1 µs to 10 s (values above the last bound land in the overflow bucket).
+pub const DURATION_US_BOUNDS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6, 2e6, 5e6, 1e7,
+];
+
+/// An `f64` cell updated with compare-and-swap loops over its bit pattern.
+#[derive(Debug)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    const fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn update(&self, f: impl Fn(f64) -> f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (window occupancy, population size, …).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds, ascending. `counts` has one extra slot for
+    /// values above the last bound.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicF64,
+    min: AtomicF64,
+    max: AtomicF64,
+}
+
+/// A fixed-bucket histogram. Recording is two atomic adds plus bounded CAS
+/// loops for sum/min/max; quantiles are estimated from bucket upper bounds
+/// at snapshot time.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation. Non-finite values are dropped.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let inner = &self.0;
+        // First bucket whose upper bound admits v; the trailing slot
+        // catches everything above the last bound.
+        let idx = inner.bounds.partition_point(|&b| v > b);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.update(|s| s + v);
+        inner.min.update(|m| m.min(v));
+        inner.max.update(|m| m.max(v));
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// `(upper_bound, count)` per bucket; the overflow bucket's bound is
+    /// `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.0
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Point-in-time summary. Concurrent recorders may make `count` and the
+    /// per-bucket totals momentarily inconsistent; each field is itself
+    /// coherent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let counts: Vec<u64> = inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        let min = inner.min.load();
+        let max = inner.max.load();
+        let quantile = |q: f64| -> f64 {
+            // Rank of the q-th observation (1-based), then the upper bound
+            // of the bucket holding it, clamped to the observed range so a
+            // single sample reports itself rather than its bucket ceiling.
+            let target = ((q * count as f64).ceil() as u64).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    let bound = inner.bounds.get(i).copied().unwrap_or(max);
+                    return bound.clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(),
+            min,
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Summary of a [`Histogram`] at one point in time. All fields are zero
+/// when nothing has been recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median estimate (bucket upper bound, clamped to `[min, max]`).
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One registered metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named metric captured by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered name, `hdoutlier.<crate>.<name>`.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A name → metric map. The process-global instance is [`registry`]; tests
+/// may build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().expect("registry lock");
+        let metric = map.entry(name.to_string()).or_insert_with(make);
+        metric.clone()
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0))))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Resolves (registering on first use) the histogram `name` with the
+    /// default [`DURATION_US_BOUNDS`].
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, DURATION_US_BOUNDS)
+    }
+
+    /// Like [`Registry::histogram`] with explicit bucket upper bounds
+    /// (ascending). Bounds are fixed at first registration; later calls
+    /// under the same name return the existing histogram unchanged.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly ascending, or if `name` is
+    /// already registered as a different metric kind.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram {name:?} needs >= 1 bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly ascending"
+        );
+        match self.get_or_insert(name, || {
+            Metric::Histogram(Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicF64::new(0.0),
+                min: AtomicF64::new(f64::INFINITY),
+                max: AtomicF64::new(f64::NEG_INFINITY),
+            })))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.lock().expect("registry lock");
+        map.iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// The snapshot as NDJSON: one object per metric, sorted by name, each
+    /// line `{"metric":"…","type":"counter|gauge|histogram",…}`.
+    pub fn snapshot_ndjson(&self) -> String {
+        let mut out = String::new();
+        for m in self.snapshot() {
+            out.push_str("{\"metric\":\"");
+            escape_json_into(&mut out, &m.name);
+            out.push_str("\",\"type\":\"");
+            match &m.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str("counter\",\"value\":");
+                    out.push_str(&v.to_string());
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str("gauge\",\"value\":");
+                    out.push_str(&v.to_string());
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str("histogram\",\"count\":");
+                    out.push_str(&h.count.to_string());
+                    for (key, v) in [
+                        ("sum", h.sum),
+                        ("min", h.min),
+                        ("max", h.max),
+                        ("mean", h.mean()),
+                        ("p50", h.p50),
+                        ("p90", h.p90),
+                        ("p99", h.p99),
+                    ] {
+                        out.push_str(",\"");
+                        out.push_str(key);
+                        out.push_str("\":");
+                        if v.is_finite() {
+                            out.push_str(&v.to_string());
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+static REGISTRY: Registry = Registry::new();
+
+/// The process-global registry. All pipeline instrumentation registers
+/// here; the CLI's `--metrics-out` snapshots it at exit.
+pub fn registry() -> &'static Registry {
+    &REGISTRY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("c").get(), 5, "same handle by name");
+
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("h", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.1, 10.0, 99.0, 100.0, 101.0] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 2)); // 0.5, 1.0
+        assert_eq!(buckets[1], (10.0, 2)); // 1.1, 10.0
+        assert_eq!(buckets[2], (100.0, 2)); // 99.0, 100.0
+        assert_eq!(buckets[3], (f64::INFINITY, 1)); // 101.0
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("h", &[1.0, 2.0, 5.0, 10.0]);
+        // 100 observations: 50 in (..=1], 40 in (1..=2], 10 in (2..=5].
+        for _ in 0..50 {
+            h.record(0.5);
+        }
+        for _ in 0..40 {
+            h.record(1.5);
+        }
+        for _ in 0..10 {
+            h.record(3.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 3.0);
+        assert!((s.sum - (50.0 * 0.5 + 40.0 * 1.5 + 10.0 * 3.0)).abs() < 1e-9);
+        assert_eq!(s.p50, 1.0); // rank 50 is the last of the first bucket
+        assert_eq!(s.p90, 2.0); // rank 90 is the last of the second bucket
+        assert_eq!(s.p99, 3.0); // rank 99 is in the third bucket, clamped to max
+        assert!((s.mean() - 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_single_sample_clamps_to_observation() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("h", &[100.0, 1000.0]);
+        h.record(42.0);
+        let s = h.snapshot();
+        // Bucket bound is 100 but only 42 was ever seen.
+        assert_eq!((s.p50, s.p90, s.p99), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn histogram_empty_snapshot_is_zeroed() {
+        let r = Registry::new();
+        let s = r.histogram("h").snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(
+            (s.min, s.max, s.p50, s.p99, s.mean()),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn histogram_drops_nonfinite() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        Registry::new().histogram_with_bounds("h", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_ndjson_is_sorted_and_line_per_metric() {
+        let r = Registry::new();
+        r.counter("b.count").inc();
+        r.gauge("c.gauge").set(-2);
+        r.histogram("a.hist").record(3.0);
+        let text = r.snapshot_ndjson();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"metric\":\"a.hist\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"type\":\"histogram\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"p99\":"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"metric\":\"b.count\"") && lines[1].contains("\"value\":1"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"metric\":\"c.gauge\"") && lines[2].contains("\"value\":-2"),
+            "{}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn default_duration_bounds_are_ascending() {
+        assert!(DURATION_US_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the observability crate: concurrency behaviour
+//! and the public-surface contracts the rest of the workspace relies on.
+
+use hdoutlier_obs as obs;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn counter_is_atomic_under_thread_fanout() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = obs::Registry::new();
+    let counter = registry.counter("hdoutlier.test.fanout");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_is_consistent_under_thread_fanout() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 5_000;
+    let registry = obs::Registry::new();
+    let hist = registry.histogram_with_bounds("hdoutlier.test.lat", &[10.0, 100.0, 1000.0]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = hist.clone();
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record((t * PER_THREAD + i) as f64 % 1500.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, (THREADS * PER_THREAD) as u64);
+    let bucket_total: u64 = hist.buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, snap.count);
+    assert_eq!(snap.min, 0.0);
+    assert_eq!(snap.max, 1499.0);
+}
+
+#[test]
+fn histogram_quantiles_match_known_distribution() {
+    let registry = obs::Registry::new();
+    let hist = registry.histogram_with_bounds("hdoutlier.test.q", &[1.0, 2.0, 4.0, 8.0, 16.0]);
+    // 1000 samples uniform over (0, 10]: ranks put p50 at bound 8 clamped
+    // by the data layout below.
+    for i in 1..=1000u32 {
+        hist.record(f64::from(i) / 100.0); // 0.01 ..= 10.0
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 1000);
+    // Rank 500 → value 5.0 → bucket (4, 8] → reported as 8.0.
+    assert_eq!(snap.p50, 8.0);
+    // Rank 900 → value 9.0 → bucket (8, 16] → bound 16 clamps to max 10.
+    assert_eq!(snap.p90, 10.0);
+    assert_eq!(snap.p99, 10.0);
+    assert_eq!(snap.min, 0.01);
+    assert_eq!(snap.max, 10.0);
+}
+
+#[test]
+fn ndjson_sink_escapes_hostile_strings() {
+    let sink = obs::CaptureSink::default();
+    let fields = [
+        ("path", obs::Value::Str("C:\\data\\\"quoted\"\nline")),
+        ("tab", obs::Value::Str("a\tb")),
+        ("ctl", obs::Value::Str("\u{0}bell\u{7}")),
+    ];
+    obs::Sink::emit(
+        &sink,
+        &obs::EventRecord {
+            ts_us: 1,
+            level: obs::Level::Warn,
+            target: "hdoutlier.test",
+            name: "esc\"aped",
+            fields: &fields,
+        },
+    );
+    let lines = sink.lines();
+    assert_eq!(lines.len(), 1);
+    let line = &lines[0];
+    assert!(line.contains("\"event\":\"esc\\\"aped\""), "{line}");
+    assert!(
+        line.contains("\"path\":\"C:\\\\data\\\\\\\"quoted\\\"\\nline\""),
+        "{line}"
+    );
+    assert!(line.contains("\"tab\":\"a\\tb\""), "{line}");
+    assert!(line.contains("\"ctl\":\"\\u0000bell\\u0007\""), "{line}");
+    // No raw control bytes survive.
+    assert!(line.chars().all(|c| c as u32 >= 0x20), "{line}");
+}
+
+#[test]
+fn level_parsing_is_case_insensitive() {
+    assert_eq!("INFO".parse::<obs::Level>().unwrap(), obs::Level::Info);
+    assert_eq!("Trace".parse::<obs::Level>().unwrap(), obs::Level::Trace);
+    assert!("noisy".parse::<obs::Level>().is_err());
+}
+
+#[test]
+fn global_registry_handles_are_shared() {
+    // The global registry is process-wide and append-only; use a unique
+    // name so parallel tests cannot collide on kind.
+    let name = "hdoutlier.test.obs_integration.shared";
+    let a = obs::registry().counter(name);
+    let b = obs::registry().counter(name);
+    let before = a.get();
+    b.add(3);
+    assert_eq!(a.get(), before + 3);
+    assert!(obs::registry().snapshot().iter().any(|m| m.name == name));
+}
+
+#[test]
+fn span_guard_emits_elapsed_into_capture() {
+    // Serializes against other dispatcher users in this binary only; unit
+    // tests inside the crate use their own lock, so keep this tolerant:
+    // assert on our own event's presence, not on total line counts.
+    let capture = Arc::new(obs::CaptureSink::default());
+    obs::install(capture.clone(), obs::Level::Debug);
+    {
+        let _span = obs::span(obs::Level::Debug, "hdoutlier.test", "spanned_work");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    obs::uninstall();
+    let lines = capture.lines();
+    let ours: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"spanned_work\""))
+        .collect();
+    assert_eq!(ours.len(), 1, "{lines:?}");
+    assert!(ours[0].contains("\"elapsed_us\":"), "{}", ours[0]);
+}

@@ -10,6 +10,36 @@
 use crate::drift::{DriftMonitor, DriftReport};
 use hdoutlier_core::FittedModel;
 use hdoutlier_data::DataError;
+use hdoutlier_obs as obs;
+use std::time::Instant;
+
+/// Event target for the streaming pipeline.
+const TARGET: &str = "hdoutlier.stream";
+
+/// Metric handles resolved once at scorer construction so the per-record
+/// path never touches the registry lock. Counters are shared by name: two
+/// scorers in one process feed the same totals.
+#[derive(Debug, Clone)]
+struct ScorerMetrics {
+    records: obs::Counter,
+    outliers: obs::Counter,
+    drift_checks: obs::Counter,
+    drift_alerts: obs::Counter,
+    record_latency_us: obs::Histogram,
+}
+
+impl ScorerMetrics {
+    fn resolve() -> Self {
+        let r = obs::registry();
+        ScorerMetrics {
+            records: r.counter("hdoutlier.stream.records"),
+            outliers: r.counter("hdoutlier.stream.outliers"),
+            drift_checks: r.counter("hdoutlier.stream.drift_checks"),
+            drift_alerts: r.counter("hdoutlier.stream.drift_alerts"),
+            record_latency_us: r.histogram("hdoutlier.stream.record_latency_us"),
+        }
+    }
+}
 
 /// The scoring outcome for one arriving record.
 #[derive(Debug, Clone)]
@@ -36,6 +66,7 @@ pub struct OnlineScorer {
     alpha: f64,
     check_every: u64,
     scored: u64,
+    metrics: ScorerMetrics,
 }
 
 impl OnlineScorer {
@@ -57,6 +88,7 @@ impl OnlineScorer {
             alpha: Self::DEFAULT_ALPHA,
             check_every: Self::DEFAULT_CHECK_EVERY,
             scored: 0,
+            metrics: ScorerMetrics::resolve(),
         })
     }
 
@@ -111,6 +143,15 @@ impl OnlineScorer {
     /// # Errors
     /// [`DataError::ShapeMismatch`] on a record of the wrong width.
     pub fn score_record(&mut self, row: &[f64]) -> Result<Verdict, DataError> {
+        // Per-record wall-clock costs two `Instant::now` calls; only spend
+        // them when timing was requested (`obs::set_timing`, e.g. via the
+        // CLI's `--metrics-out`). The counters below are single relaxed
+        // atomic adds and always run.
+        let start = if obs::timing_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let cells = self.model.grid().assign_row(row)?;
         let matches = self.model.matches(row)?;
         let score = matches
@@ -124,10 +165,36 @@ impl OnlineScorer {
         let index = self.scored;
         self.scored += 1;
         let drift = if self.scored.is_multiple_of(self.check_every) {
-            Some(self.monitor.report(self.alpha))
+            self.metrics.drift_checks.inc();
+            let report = self.monitor.report(self.alpha);
+            if report.any_drift() {
+                self.metrics.drift_alerts.inc();
+                obs::event(
+                    obs::Level::Warn,
+                    TARGET,
+                    "drift_alert",
+                    &[
+                        ("record", obs::Value::U64(index)),
+                        (
+                            "drifted_dims",
+                            obs::Value::U64(report.drifted_dims.len() as u64),
+                        ),
+                    ],
+                );
+            }
+            Some(report)
         } else {
             None
         };
+        self.metrics.records.inc();
+        if !matched.is_empty() {
+            self.metrics.outliers.inc();
+        }
+        if let Some(start) = start {
+            self.metrics
+                .record_latency_us
+                .record(start.elapsed().as_secs_f64() * 1e6);
+        }
         Ok(Verdict {
             index,
             cells,

@@ -15,6 +15,7 @@
 use hdoutlier_data::dataset::DataError;
 use hdoutlier_data::discretize::MISSING_CELL;
 use hdoutlier_index::{Bitmap, Cube, CubeCounter};
+use hdoutlier_obs as obs;
 use std::collections::VecDeque;
 
 /// A fixed-capacity sliding window of discretized records, queryable as a
@@ -36,6 +37,9 @@ pub struct WindowCounter {
     order: VecDeque<usize>,
     /// Total records ever pushed (for monitoring; not the window length).
     total_pushed: u64,
+    /// `hdoutlier.stream.window_len` occupancy gauge, shared by name across
+    /// windows in the process (last writer wins).
+    occupancy: obs::Gauge,
 }
 
 impl WindowCounter {
@@ -63,6 +67,7 @@ impl WindowCounter {
             slots: vec![None; capacity],
             order: VecDeque::with_capacity(capacity),
             total_pushed: 0,
+            occupancy: obs::registry().gauge("hdoutlier.stream.window_len"),
         })
     }
 
@@ -147,6 +152,7 @@ impl WindowCounter {
         self.slots[slot] = Some(cells.to_vec());
         self.order.push_back(slot);
         self.total_pushed += 1;
+        self.occupancy.set(self.order.len() as i64);
         Ok(evicted)
     }
 

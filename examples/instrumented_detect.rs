@@ -1,0 +1,75 @@
+//! Instrumented detection: install an observability sink, run the detector,
+//! then read the metrics registry — the library-level equivalent of the
+//! CLI's `--log-level`, `--log-json`, and `--metrics-out` flags.
+//!
+//! ```text
+//! cargo run --release --example instrumented_detect
+//! ```
+
+use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
+use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier::obs;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Install a sink. Events from every instrumented crate (targets
+    //    `hdoutlier.core`, `hdoutlier.evolve`, `hdoutlier.stream`) now
+    //    render to stderr; swap in `obs::NdjsonSink::stderr()` for NDJSON,
+    //    or `obs::CaptureSink` to collect lines in memory. Debug level also
+    //    emits the evolutionary engine's per-generation telemetry.
+    obs::install(Arc::new(obs::StderrSink), obs::Level::Debug);
+
+    // 2. Turn on the timing gate so hot paths (GA stage timers, per-record
+    //    stream latency) measure themselves into histograms.
+    obs::set_timing(true);
+
+    // 3. Run a detection exactly as usual — instrumentation is ambient.
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 1500,
+        n_dims: 12,
+        n_outliers: 5,
+        strong_groups: Some(3),
+        seed: 11,
+        ..PlantedConfig::default()
+    });
+    let report = OutlierDetector::builder()
+        .phi(5)
+        .k(2)
+        .m(8)
+        .seed(7)
+        .max_generations(60)
+        .search(SearchMethod::Evolutionary)
+        .build()
+        .detect(&planted.dataset)
+        .expect("valid configuration");
+    println!(
+        "found {} outlier row(s) via {} evaluations",
+        report.outlier_rows.len(),
+        report.stats.work
+    );
+
+    // 4. Read the registry. Counters/gauges are plain numbers; histograms
+    //    carry count/sum/min/max and fixed-bucket quantile estimates.
+    println!("\nmetrics after the run:");
+    for metric in obs::registry().snapshot() {
+        match metric.value {
+            obs::SnapshotValue::Counter(v) => println!("  {} = {v}", metric.name),
+            obs::SnapshotValue::Gauge(v) => println!("  {} = {v}", metric.name),
+            obs::SnapshotValue::Histogram(h) => println!(
+                "  {} : n={} mean={:.1}us p50={:.0} p99={:.0} max={:.0}",
+                metric.name,
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p99,
+                h.max
+            ),
+        }
+    }
+
+    // 5. Or export everything as NDJSON (what `--metrics-out` writes).
+    let ndjson = obs::registry().snapshot_ndjson();
+    println!("\nNDJSON snapshot: {} lines", ndjson.lines().count());
+
+    obs::uninstall();
+}

@@ -18,6 +18,7 @@ pub use hdoutlier_core as core;
 pub use hdoutlier_data as data;
 pub use hdoutlier_evolve as evolve;
 pub use hdoutlier_index as index;
+pub use hdoutlier_obs as obs;
 pub use hdoutlier_stats as stats;
 pub use hdoutlier_stream as stream;
 
