@@ -13,3 +13,9 @@ cargo test -q --offline --workspace
 # the in-tree JSON parser (crates/cli/tests/smoke.rs).
 cargo test -q --offline -p hdoutlier-obs
 cargo test -q --offline -p hdoutlier-cli --test smoke
+
+# Live telemetry: launch `stream --serve-metrics` on an ephemeral port,
+# scrape /metrics over raw TCP (std-only client), assert the records
+# counter and histogram buckets; validate `--trace-out` parses as Chrome
+# trace-event JSON (crates/cli/tests/live.rs).
+cargo test -q --offline -p hdoutlier-cli --test live

@@ -3,19 +3,41 @@
 //! ```text
 //! cargo run -p hdoutlier-bench --release --bin repro -- all
 //! cargo run -p hdoutlier-bench --release --bin repro -- table1 [seed]
+//! cargo run -p hdoutlier-bench --release --bin repro -- table1 --bench-json BENCH_detect.json
 //! ```
+//!
+//! With `--bench-json` the run also writes a schema-stable perf-trajectory
+//! datapoint: the command's wall time plus the detector's per-phase
+//! duration histograms (`hdoutlier.core.{discretize,index,search,
+//! postprocess}_us`) accumulated across every fit the command performed.
 
+use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_bench::{
     ablation, arrhythmia, figure1, housing, intensional_exp, params_exp, prescreen, scaling,
     table1, table2,
 };
+use hdoutlier_obs as obs;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_json = match args.iter().position(|a| a == "--bench-json") {
+        Some(i) if i + 1 < args.len() => {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("--bench-json requires a path");
+            std::process::exit(2);
+        }
+        None => None,
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     // Optional seed override; each experiment otherwise uses its own tuned
     // default (they differ: e.g. the arrhythmia experiment defaults to 7).
     let seed: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
+    obs::set_timing(bench_json.is_some());
+    let start = std::time::Instant::now();
 
     match cmd {
         "table1" => run_table1(seed),
@@ -42,11 +64,51 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table1|table2|arrhythmia|housing|figure1|params|scaling|ablation|prescreen|intensional|all> [seed]"
+                "usage: repro <table1|table2|arrhythmia|housing|figure1|params|scaling|ablation|prescreen|intensional|all> [seed] [--bench-json <path>]"
             );
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = bench_json {
+        write_datapoint(&path, cmd, seed, start.elapsed());
+    }
+}
+
+/// One `BENCH_detect.json` trajectory datapoint: the command's wall time,
+/// with per-phase duration percentiles pulled from the detector's own
+/// histograms (populated by every `fit` the command ran).
+fn write_datapoint(path: &str, cmd: &str, seed: Option<u64>, elapsed: std::time::Duration) {
+    let mut report = BenchReport::new("detect");
+    report.config("timing", 1.0);
+    if let Some(seed) = seed {
+        report.config("seed", seed as f64);
+    }
+    let mut fits = 0u64;
+    for name in ["discretize", "index", "search", "postprocess"] {
+        let s = obs::registry()
+            .histogram(&format!("hdoutlier.core.{name}_us"))
+            .snapshot();
+        if s.count > 0 {
+            fits = fits.max(s.count);
+            report.phase_us(
+                name,
+                Percentiles {
+                    count: s.count,
+                    p50: s.p50,
+                    p90: s.p90,
+                    p99: s.p99,
+                    max: s.max,
+                },
+            );
+        }
+    }
+    report.stage(cmd, fits, elapsed.as_secs_f64());
+    if let Err(e) = report.write(path) {
+        eprintln!("failed to write bench datapoint {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench datapoint written to {path}");
 }
 
 fn heading(title: &str) {

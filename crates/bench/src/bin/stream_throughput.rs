@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p hdoutlier-bench --release --bin stream_throughput -- \
-//!     [n_rows] [n_dims] [--metrics-out <path>]
+//!     [n_rows] [n_dims] [--metrics-out <path>] [--bench-json <path>]
 //! ```
 //!
 //! Stages measured independently, then end-to-end:
@@ -18,7 +18,13 @@
 //! written as NDJSON. Without the flag the timing gate stays off, so the
 //! wall-clock numbers measure the same code the `stream` subcommand runs
 //! by default.
+//!
+//! With `--bench-json` a schema-stable `BENCH_stream.json` datapoint is
+//! written (stage throughputs, latency percentiles, git metadata) for the
+//! repo's perf trajectory; the timing gate is enabled so the percentiles
+//! are populated, which the datapoint records in its `config.timing` knob.
 
+use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_core::{OutlierDetector, SearchMethod};
 use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
 use hdoutlier_obs as obs;
@@ -27,23 +33,33 @@ use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+    let mut take_path = |flag: &str| match args.iter().position(|a| a == flag) {
         Some(i) if i + 1 < args.len() => {
             let path = args.remove(i + 1);
             args.remove(i);
             Some(path)
         }
         Some(_) => {
-            eprintln!("--metrics-out requires a path");
+            eprintln!("{flag} requires a path");
             std::process::exit(2);
         }
         None => None,
     };
-    obs::set_timing(metrics_out.is_some());
+    let metrics_out = take_path("--metrics-out");
+    let bench_json = take_path("--bench-json");
+    obs::set_timing(metrics_out.is_some() || bench_json.is_some());
+    let mut bench = bench_json.as_ref().map(|_| BenchReport::new("stream"));
     let n_rows: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
     let n_dims: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let phi = 5u32;
     let window = 10_000usize;
+    if let Some(b) = bench.as_mut() {
+        b.config("n_rows", n_rows as f64)
+            .config("n_dims", n_dims as f64)
+            .config("phi", phi as f64)
+            .config("window", window as f64)
+            .config("timing", 1.0);
+    }
 
     println!("streaming throughput: {n_rows} rows x {n_dims} dims, phi={phi}, window={window}");
 
@@ -75,7 +91,7 @@ fn main() {
     for i in 0..n_rows {
         disc.observe(row(i)).expect("observe");
     }
-    report("sketch.observe", n_rows, t.elapsed());
+    report("sketch.observe", n_rows, t.elapsed(), &mut bench);
     let spec = disc.grid_spec().expect("grid");
 
     // Stage 2: sliding-window counting (push only; queries are the batch
@@ -88,7 +104,7 @@ fn main() {
     for i in 0..n_rows {
         counter.push(&cells[i % cells.len()]).expect("push");
     }
-    report("window.push", n_rows, t.elapsed());
+    report("window.push", n_rows, t.elapsed(), &mut bench);
 
     // Stage 3: online scoring.
     let mut scorer = OnlineScorer::new(model).expect("scorer");
@@ -99,7 +115,7 @@ fn main() {
             outliers += 1;
         }
     }
-    report("scorer.score_record", n_rows, t.elapsed());
+    report("scorer.score_record", n_rows, t.elapsed(), &mut bench);
     println!("  ({outliers} outliers flagged)");
 
     // End-to-end: what the `hdoutlier stream` hot loop does per record,
@@ -113,7 +129,7 @@ fn main() {
         let v = scorer.score_record(r).expect("score");
         counter.push(&v.cells).expect("push");
     }
-    report("end-to-end", n_rows, t.elapsed());
+    report("end-to-end", n_rows, t.elapsed(), &mut bench);
     println!(
         "  (sketch summary sizes: {:?})",
         (0..n_dims.min(4))
@@ -135,9 +151,27 @@ fn main() {
         }
         println!("metrics snapshot written to {path}");
     }
+
+    if let (Some(path), Some(mut report)) = (bench_json, bench) {
+        let lat = obs::registry()
+            .histogram("hdoutlier.stream.record_latency_us")
+            .snapshot();
+        report.latency_us(Percentiles {
+            count: lat.count,
+            p50: lat.p50,
+            p90: lat.p90,
+            p99: lat.p99,
+            max: lat.max,
+        });
+        if let Err(e) = report.write(&path) {
+            eprintln!("failed to write bench datapoint {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench datapoint written to {path}");
+    }
 }
 
-fn report(stage: &str, n: usize, elapsed: std::time::Duration) {
+fn report(stage: &str, n: usize, elapsed: std::time::Duration, bench: &mut Option<BenchReport>) {
     let secs = elapsed.as_secs_f64();
     println!(
         "{stage:>20}: {:>8.0} records/s ({:.2} s total, {:.2} us/record)",
@@ -145,4 +179,7 @@ fn report(stage: &str, n: usize, elapsed: std::time::Duration) {
         secs,
         secs * 1e6 / n as f64
     );
+    if let Some(b) = bench.as_mut() {
+        b.stage(stage, n as u64, secs);
+    }
 }

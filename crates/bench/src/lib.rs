@@ -25,6 +25,7 @@
 
 pub mod ablation;
 pub mod arrhythmia;
+pub mod bench_json;
 pub mod figure1;
 pub mod housing;
 pub mod intensional_exp;

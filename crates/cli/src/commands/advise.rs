@@ -1,9 +1,9 @@
 //! `hdoutlier advise` — the §2.4 parameter advisor.
 
 use super::parse_or_usage;
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json};
+use crate::obs_setup::{self, ObsSession};
 use hdoutlier_core::params::advise;
 use hdoutlier_stats::{significance_of, sparsity_coefficient};
 
@@ -19,17 +19,25 @@ OPTIONS:
     --records <N>   number of records (alternative to passing a CSV)
     --target <s>    target sparsity coefficient (default -3)
     --json          emit JSON
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &["records", "target", "delimiter", "label-column"],
         &["json", "no-header"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let mut session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
     let target: f64 = match parsed.or("target", "number", -3.0) {
         Ok(t) => t,
@@ -65,7 +73,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
                 significance_of(advice.empty_cube_sparsity),
             );
         return match j {
-            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Ok(j) => match session.finish() {
+                Ok(()) => (exit::OK, j.pretty() + "\n"),
+                Err(e) => (exit::RUNTIME, e),
+            },
             Err(e) => (exit::RUNTIME, format!("failed to render advice: {e}")),
         };
     }
@@ -87,6 +98,9 @@ pub fn run(argv: &[String]) -> (i32, String) {
             "\nwarning: even an empty cube cannot reach the target — the dataset\n\
              is too small for significant projections at any k (see paper §2.4).\n",
         );
+    }
+    if let Err(e) = session.finish() {
+        return (exit::RUNTIME, e);
     }
     (exit::OK, out)
 }

@@ -2,9 +2,9 @@
 //! evaluation against the subspace detector.
 
 use super::{load_dataset, parse_or_usage, usage_err};
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json};
+use crate::obs_setup::{self, ObsSession};
 use hdoutlier_baselines::{
     knorr_ng_outliers, lof::lof_top_n, ramaswamy_top_n, suggest_lambda, Metric,
 };
@@ -31,11 +31,15 @@ OPTIONS:
     --delimiter <c>      field separator (default ',')
     --no-header          first row is data
     --json               emit JSON
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &[
             "method",
             "k",
@@ -51,6 +55,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let mut session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
     let Some(method) = parsed.get("method") else {
         return (exit::USAGE, format!("--method is required\n\n{HELP}"));
@@ -80,6 +88,8 @@ pub fn run(argv: &[String]) -> (i32, String) {
         dataset = impute_mean(&dataset);
     }
 
+    let rank_span =
+        hdoutlier_obs::span(hdoutlier_obs::Level::Info, "hdoutlier.cli", "baseline_rank");
     let ranked: Result<Vec<(usize, f64)>, String> = match method.as_str() {
         "knn" => {
             let k: usize = match parsed.or("k", "integer", 1) {
@@ -148,6 +158,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         }
     };
 
+    drop(rank_span);
     let ranked = match ranked {
         Ok(r) => r,
         Err(e) => return (exit::RUNTIME, format!("baseline failed: {e}")),
@@ -164,13 +175,19 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("outliers", Json::Array(items))
             });
         return match j {
-            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Ok(j) => match session.finish() {
+                Ok(()) => (exit::OK, j.pretty() + "\n"),
+                Err(e) => (exit::RUNTIME, e),
+            },
             Err(e) => (exit::RUNTIME, format!("failed to render ranking: {e}")),
         };
     }
     let mut out = format!("{method}: {} outlier(s)\n", ranked.len());
     for (row, score) in &ranked {
         out.push_str(&format!("  row {row:>6}  score {score:.4}\n"));
+    }
+    if let Err(e) = session.finish() {
+        return (exit::RUNTIME, e);
     }
     (exit::OK, out)
 }

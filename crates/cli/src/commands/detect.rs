@@ -36,6 +36,9 @@ OPTIONS:
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
+    --serve-metrics <a>  serve /metrics, /healthz, /snapshot over HTTP on <a>
+                         while detection runs (e.g. 127.0.0.1:9184)
 ";
 
 /// Runs the subcommand.
@@ -55,6 +58,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
             "label-column",
             "delimiter",
             "save-model",
+            "serve-metrics",
         ],
         &["json", "quiet", "no-header"],
     );
@@ -62,7 +66,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         Ok(p) => p,
         Err(out) => return out,
     };
-    let session = match ObsSession::init(&parsed) {
+    let mut session = match ObsSession::init(&parsed) {
         Ok(s) => s,
         Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };

@@ -2,9 +2,9 @@
 //! it abnormal?
 
 use super::{load_dataset, parse_or_usage, usage_err};
-use crate::args::Spec;
 use crate::exit;
 use crate::json::{FieldChain, Json};
+use crate::obs_setup::{self, ObsSession};
 use hdoutlier_core::drill::record_profile;
 use hdoutlier_core::params::advise;
 use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
@@ -26,17 +26,25 @@ OPTIONS:
     --delimiter <c>      field separator (default ',')
     --no-header          first row is data
     --json               emit JSON
+    --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
+    --log-json           render events as NDJSON instead of human-readable text
+    --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String]) -> (i32, String) {
-    let spec = Spec::new(
+    let spec = obs_setup::spec_with(
         &["row", "phi", "k", "top", "label-column", "delimiter"],
         &["json", "no-header"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
+    };
+    let mut session = match ObsSession::init(&parsed) {
+        Ok(s) => s,
+        Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
     let row: usize = match parsed.required("row", "integer") {
         Ok(r) => r,
@@ -94,7 +102,14 @@ pub fn run(argv: &[String]) -> (i32, String) {
         );
     }
     let counter = BitmapCounter::new(&disc);
-    let profile = record_profile(&counter, &disc, row, &ks);
+    let profile = {
+        let _span = hdoutlier_obs::span(
+            hdoutlier_obs::Level::Info,
+            "hdoutlier.cli",
+            "record_profile",
+        );
+        record_profile(&counter, &disc, row, &ks)
+    };
 
     if parsed.has("json") {
         let j = profile
@@ -122,7 +137,10 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("views", Json::Array(items))
             });
         return match j {
-            Ok(j) => (exit::OK, j.pretty() + "\n"),
+            Ok(j) => match session.finish() {
+                Ok(()) => (exit::OK, j.pretty() + "\n"),
+                Err(e) => (exit::RUNTIME, e),
+            },
             Err(e) => (exit::RUNTIME, format!("failed to render profile: {e}")),
         };
     }
@@ -144,6 +162,9 @@ pub fn run(argv: &[String]) -> (i32, String) {
             v.sparsity,
             v.exact_significance
         ));
+    }
+    if let Err(e) = session.finish() {
+        return (exit::RUNTIME, e);
     }
     (exit::OK, out)
 }

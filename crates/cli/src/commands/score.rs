@@ -24,6 +24,7 @@ OPTIONS:
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
 /// Runs the subcommand.
@@ -36,7 +37,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         Ok(p) => p,
         Err(out) => return out,
     };
-    let session = match ObsSession::init(&parsed) {
+    let mut session = match ObsSession::init(&parsed) {
         Ok(s) => s,
         Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };

@@ -6,6 +6,7 @@ use crate::exit;
 use crate::json::{FieldChain, Json, JsonError};
 use crate::model_io;
 use crate::obs_setup::{self, ObsSession};
+use hdoutlier_obs as obs;
 use hdoutlier_stream::{DriftReport, OnlineScorer, Verdict};
 use std::io::{BufRead, Write};
 
@@ -32,6 +33,9 @@ OPTIONS:
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable per-record latency metrics, snapshot to <p> at EOF
+    --trace-out <p>      profile spans, write Chrome trace-event JSON to <p> at EOF
+    --serve-metrics <a>  serve /metrics, /healthz, /snapshot over HTTP on <a>
+                         while the stream runs (e.g. 127.0.0.1:9184)
 ";
 
 /// Runs the subcommand against real stdin, writing each verdict to stdout
@@ -57,14 +61,20 @@ pub fn run_with_input(argv: &[String], input: impl BufRead) -> (i32, String) {
 /// string carries only usage/runtime error text (empty on success).
 fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
-        &["model", "delimiter", "drift-alpha", "drift-every"],
+        &[
+            "model",
+            "delimiter",
+            "drift-alpha",
+            "drift-every",
+            "serve-metrics",
+        ],
         &["no-header", "outliers-only"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
         Err(out) => return out,
     };
-    let session = match ObsSession::init(&parsed) {
+    let mut session = match ObsSession::init(&parsed) {
         Ok(s) => s,
         Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
@@ -141,9 +151,12 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
             Ok(r) => r,
             Err(msg) => return (exit::RUNTIME, format!("line {line_no}: {msg}")),
         };
-        let verdict = match scorer.score_record(&row) {
-            Ok(v) => v,
-            Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+        let verdict = {
+            let _span = obs::span(obs::Level::Trace, "hdoutlier.cli", "score_record");
+            match scorer.score_record(&row) {
+                Ok(v) => v,
+                Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+            }
         };
         if outliers_only && !verdict.outlier && verdict.drift.is_none() {
             continue;

@@ -1,6 +1,7 @@
 //! Shared observability plumbing for the subcommands: the `--log-level`,
-//! `--log-json`, and `--metrics-out` flags, dispatcher setup/teardown, and
-//! the metrics snapshot renderers used by reports.
+//! `--log-json`, `--metrics-out`, and `--trace-out` flags (plus
+//! `--serve-metrics` where a command opts in), dispatcher setup/teardown,
+//! and the metrics snapshot renderers used by reports.
 
 use crate::args::{Parsed, Spec};
 use crate::json::{FieldChain, Json, JsonError};
@@ -13,33 +14,50 @@ pub const HELP: &str = "\
     --log-level <l>      emit pipeline events on stderr at error|warn|info|debug|trace
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics and write a final NDJSON snapshot to <p>
+    --trace-out <p>      profile spans and write Chrome trace-event JSON to <p>
+";
+
+/// Help text for `--serve-metrics`; appended by the commands that declare
+/// the flag (`stream`, `detect`).
+pub const SERVE_HELP: &str = "\
+    --serve-metrics <a>  serve /metrics, /healthz, /snapshot over HTTP on <a>
+                         (e.g. 127.0.0.1:9184; port 0 picks one, echoed on stderr)
 ";
 
 /// Builds a [`Spec`] from a subcommand's own flags plus the shared
-/// observability flags.
+/// observability flags. Commands that also want the live endpoint declare
+/// `"serve-metrics"` in their own `value_flags`.
 pub fn spec_with(value_flags: &[&'static str], bool_flags: &[&'static str]) -> Spec {
     let mut values = value_flags.to_vec();
-    values.extend_from_slice(&["log-level", "metrics-out"]);
+    values.extend_from_slice(&["log-level", "metrics-out", "trace-out"]);
     let mut bools = bool_flags.to_vec();
     bools.push("log-json");
     Spec::new(&values, &bools)
 }
 
 /// One command invocation's observability state. [`ObsSession::init`]
-/// configures the process-global dispatcher from the parsed flags;
-/// [`ObsSession::finish`] writes the metrics snapshot if one was requested.
+/// configures the process-global dispatcher from the parsed flags and
+/// starts the live endpoint / trace collection when requested;
+/// [`ObsSession::finish`] writes the exports and joins the server.
 #[derive(Debug)]
 pub struct ObsSession {
     metrics_out: Option<String>,
+    trace_out: Option<String>,
+    trace: Option<Arc<obs::TraceBuffer>>,
+    server: Option<obs::MetricsServer>,
 }
 
 impl ObsSession {
     /// Applies the observability flags. Always (re)sets the global
-    /// dispatcher and timing gate — including turning them *off* when the
-    /// flags are absent — so successive in-process runs are deterministic.
+    /// dispatcher, timing gate, and trace buffer — including turning them
+    /// *off* when the flags are absent — so successive in-process runs are
+    /// deterministic. With `--serve-metrics <addr>` the telemetry server
+    /// starts here and its bound address is echoed on stderr (the address
+    /// matters when port 0 asked for an ephemeral one).
     ///
     /// # Errors
-    /// A usage message when `--log-level` is not a recognized level.
+    /// A usage message when `--log-level` is not a recognized level or the
+    /// `--serve-metrics` address cannot be bound.
     pub fn init(parsed: &Parsed) -> Result<Self, String> {
         let level: Option<obs::Level> = match parsed.get("log-level") {
             Some(text) => Some(text.parse().map_err(|e| format!("--log-level: {e}"))?),
@@ -57,10 +75,41 @@ impl ObsSession {
             obs::uninstall();
         }
         let metrics_out = parsed.get("metrics-out").map(str::to_string);
+        let trace_out = parsed.get("trace-out").map(str::to_string);
+        let trace = trace_out.as_ref().map(|_| {
+            let buffer = Arc::new(obs::TraceBuffer::new());
+            obs::set_trace_buffer(Some(Arc::clone(&buffer)));
+            buffer
+        });
+        if trace.is_none() {
+            obs::set_trace_buffer(None);
+        }
+        // `serve-metrics` is declared only by stream/detect; on other
+        // commands the lookup is simply absent.
+        let server = match parsed.get("serve-metrics") {
+            Some(addr) => {
+                let server = obs::MetricsServer::serve(addr, obs::registry())
+                    .map_err(|e| format!("--serve-metrics {addr}: {e}"))?;
+                eprintln!(
+                    "telemetry: serving http://{}/metrics (also /healthz, /snapshot)",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            None => None,
+        };
         // Hot paths (per-record stream latency, GA stage timers) read this
-        // gate before touching the clock.
-        obs::set_timing(metrics_out.is_some() || obs::enabled(obs::Level::Debug));
-        Ok(ObsSession { metrics_out })
+        // gate before touching the clock. A live scrape wants latency
+        // histograms populated, so serving implies timing.
+        obs::set_timing(
+            metrics_out.is_some() || server.is_some() || obs::enabled(obs::Level::Debug),
+        );
+        Ok(ObsSession {
+            metrics_out,
+            trace_out,
+            trace,
+            server,
+        })
     }
 
     /// Whether a metrics snapshot was requested (`--metrics-out`).
@@ -68,15 +117,33 @@ impl ObsSession {
         self.metrics_out.is_some()
     }
 
-    /// Writes the registry snapshot as NDJSON to the requested path (a
-    /// no-op without `--metrics-out`).
+    /// Writes the requested exports (metrics NDJSON, Chrome trace JSON),
+    /// detaches the trace buffer, and shuts the telemetry server down.
+    /// Idempotent: a second call is a no-op, so error paths that already
+    /// finished can return freely.
     ///
     /// # Errors
-    /// A runtime message when the file cannot be written.
-    pub fn finish(&self) -> Result<(), String> {
-        if let Some(path) = &self.metrics_out {
-            std::fs::write(path, obs::registry().snapshot_ndjson())
+    /// A runtime message when an export file cannot be written.
+    pub fn finish(&mut self) -> Result<(), String> {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        if let Some(path) = self.metrics_out.take() {
+            std::fs::write(&path, obs::registry().snapshot_ndjson())
                 .map_err(|e| format!("failed to write metrics {path}: {e}"))?;
+        }
+        if let Some(buffer) = self.trace.take() {
+            obs::set_trace_buffer(None);
+            if let Some(path) = self.trace_out.take() {
+                std::fs::write(&path, buffer.to_chrome_json())
+                    .map_err(|e| format!("failed to write trace {path}: {e}"))?;
+                if buffer.dropped() > 0 {
+                    eprintln!(
+                        "telemetry: trace buffer overflowed; {} events dropped",
+                        buffer.dropped()
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -138,10 +205,59 @@ mod tests {
                 "--log-json",
                 "--metrics-out",
                 "/tmp/m.ndjson",
+                "--trace-out",
+                "/tmp/t.json",
             ]))
             .unwrap();
         assert_eq!(parsed.get("log-level"), Some("debug"));
         assert!(parsed.has("log-json"));
+        assert_eq!(parsed.get("trace-out"), Some("/tmp/t.json"));
+        // `serve-metrics` is opt-in per command, not part of the shared set.
+        assert!(spec_with(&[], &[])
+            .parse(&argv(&["--serve-metrics", "x"]))
+            .is_err());
+        let spec = spec_with(&["serve-metrics"], &[]);
+        let parsed = spec
+            .parse(&argv(&["--serve-metrics", "127.0.0.1:0"]))
+            .unwrap();
+        assert_eq!(parsed.get("serve-metrics"), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("hdoutlier-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs-setup-trace.json");
+        let spec = spec_with(&[], &[]);
+        let parsed = spec
+            .parse(&argv(&["--trace-out", path.to_str().unwrap()]))
+            .unwrap();
+        let mut session = ObsSession::init(&parsed).unwrap();
+        session.finish().unwrap();
+        // A second finish is a no-op, not a rewrite or panic.
+        session.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The trace buffer is process-global and parallel tests may swap it,
+        // so assert the file's shape, not its span content (the spawned-
+        // binary integration tests cover content in a clean process).
+        let j = Json::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(j.get("traceEvents").is_some(), "{text}");
+    }
+
+    #[test]
+    fn serve_metrics_binds_echoes_and_shuts_down() {
+        let spec = spec_with(&["serve-metrics"], &[]);
+        let parsed = spec
+            .parse(&argv(&["--serve-metrics", "127.0.0.1:0"]))
+            .unwrap();
+        let mut session = ObsSession::init(&parsed).unwrap();
+        session.finish().unwrap();
+        // An unbindable address is an init error, not a panic.
+        let parsed = spec
+            .parse(&argv(&["--serve-metrics", "256.0.0.1:bogus"]))
+            .unwrap();
+        let err = ObsSession::init(&parsed).unwrap_err();
+        assert!(err.contains("--serve-metrics"), "{err}");
     }
 
     #[test]

@@ -28,18 +28,17 @@ const TARGET: &str = "hdoutlier.core";
 /// per detect call, so the two clock reads are always paid — the metric is
 /// populated even when no sink is installed.
 fn phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    // The span reports the phase as an Info event and, when a trace buffer
+    // is installed, as a Chrome-trace slice; the histogram keeps its own
+    // clock because it is populated even with events and tracing off.
+    let span = obs::span(obs::Level::Info, TARGET, name);
     let start = Instant::now();
     let out = f();
     let us = start.elapsed().as_micros() as u64;
     obs::registry()
         .histogram(&format!("hdoutlier.core.{name}_us"))
         .record(us as f64);
-    obs::event(
-        obs::Level::Info,
-        TARGET,
-        name,
-        &[("elapsed_us", obs::Value::U64(us))],
-    );
+    drop(span);
     out
 }
 
@@ -240,6 +239,9 @@ impl OutlierDetector {
             require_nonempty: self.config.require_nonempty,
             max_candidates: self.config.max_candidates,
         };
+        // Debug-level span: the trace profile gets the search slice without
+        // doubling the rich Info "search" event below at default filtering.
+        let search_span = obs::span(obs::Level::Debug, TARGET, "search");
         let outcome = if self.config.threads > 1 {
             crate::brute::brute_force_search_parallel(counter, k, &config, self.config.threads)
         } else {
@@ -247,6 +249,7 @@ impl OutlierDetector {
             // ~k× fewer word operations per node; see the `index` bench).
             crate::brute::brute_force_search_incremental(counter, k, &config)
         };
+        drop(search_span);
         let stats = SearchStats {
             work: outcome.candidates,
             generations: 0,
@@ -276,6 +279,7 @@ impl OutlierDetector {
     fn run_evolutionary<C: CubeCounter>(&self, counter: &C, k: usize) -> OutlierReport {
         let fitness = SparsityFitness::new(counter, k);
         let start = Instant::now();
+        let search_span = obs::span(obs::Level::Debug, TARGET, "search");
         let outcome = evolutionary_search(
             &fitness,
             &EvolutionaryConfig {
@@ -292,6 +296,7 @@ impl OutlierDetector {
                 seed: self.config.seed,
             },
         );
+        drop(search_span);
         let stats = SearchStats {
             work: outcome.evaluations,
             generations: outcome.generations,

@@ -12,6 +12,7 @@
 use crate::event::{EventRecord, Field, Value};
 use crate::level::Level;
 use crate::sink::Sink;
+use crate::trace::TraceBuffer;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
@@ -20,8 +21,12 @@ use std::time::Instant;
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
 /// Whether hot paths should spend `Instant::now` calls on per-record timing.
 static TIMING: AtomicBool = AtomicBool::new(false);
+/// Fast gate mirroring whether a trace buffer is installed.
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
 /// The installed sink, if any.
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+/// The installed span trace buffer, if any.
+static TRACE: RwLock<Option<Arc<TraceBuffer>>> = RwLock::new(None);
 /// Monotonic epoch for event timestamps.
 static START: OnceLock<Instant> = OnceLock::new();
 
@@ -52,12 +57,28 @@ pub fn set_timing(on: bool) {
     TIMING.store(on, Ordering::Relaxed);
 }
 
+/// Whether a trace buffer is collecting spans. One relaxed atomic load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Installs (or removes, with `None`) the span trace buffer. While a buffer
+/// is installed every closed [`Span`] appends a Chrome-trace begin/end
+/// pair, independent of the event level filter.
+pub fn set_trace_buffer(buffer: Option<Arc<TraceBuffer>>) {
+    let on = buffer.is_some();
+    *TRACE.write().expect("trace lock") = buffer;
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
 /// Installs a sink and admits events at `level` and below (in severity).
 /// Replaces any previous sink. The monotonic epoch is pinned on first
 /// install, so timestamps from successive runs in one process share an
 /// origin.
 pub fn install(sink: Arc<dyn Sink>, level: Level) {
     let _ = START.get_or_init(Instant::now);
+    crate::metrics::refresh_process_metrics();
     *SINK.write().expect("sink lock") = Some(sink);
     set_max_level(Some(level));
 }
@@ -91,12 +112,16 @@ pub fn event(level: Level, target: &str, name: &str, fields: &[Field<'_>]) {
     }
 }
 
-/// A scope timer: emits `<name>` with an `elapsed_us` field when dropped.
-/// Created disabled (no `Instant::now`, no emit on drop) when the level is
-/// filtered out at entry.
+/// A scope timer: emits `<name>` with an `elapsed_us` field when dropped,
+/// and — when a trace buffer is installed — records a Chrome-trace
+/// begin/end pair. Created disabled (no `Instant::now`, nothing on drop)
+/// when the level is filtered out at entry and no trace buffer is active.
 #[derive(Debug)]
 pub struct Span {
     start: Option<Instant>,
+    /// Microseconds since the dispatcher epoch at open; only read when
+    /// `start` is live and tracing is on.
+    begin_us: u64,
     level: Level,
     target: &'static str,
     name: &'static str,
@@ -113,21 +138,40 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let us = start.elapsed().as_micros() as u64;
-            event(
-                self.level,
-                self.target,
-                self.name,
-                &[("elapsed_us", Value::U64(us))],
-            );
+            // A span may be live for the trace buffer alone; the event
+            // still honors the level filter.
+            if enabled(self.level) {
+                event(
+                    self.level,
+                    self.target,
+                    self.name,
+                    &[("elapsed_us", Value::U64(us))],
+                );
+            }
+            if trace_enabled() {
+                let guard = TRACE.read().expect("trace lock");
+                if let Some(buffer) = guard.as_ref() {
+                    buffer.push_span(
+                        self.target,
+                        self.name,
+                        self.begin_us,
+                        self.begin_us + us,
+                        crate::trace::current_tid(),
+                    );
+                }
+            }
         }
     }
 }
 
 /// Opens a [`Span`]. `target` and `name` are `'static` so the guard stores
-/// them without allocating.
+/// them without allocating. Live when the level passes the filter *or* a
+/// trace buffer is collecting.
 pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
+    let live = enabled(level) || trace_enabled();
     Span {
-        start: enabled(level).then(Instant::now),
+        start: live.then(Instant::now),
+        begin_us: if live { ts_us() } else { 0 },
         level,
         target,
         name,
@@ -192,6 +236,30 @@ mod tests {
         set_timing(true);
         assert!(timing_enabled());
         set_timing(false);
+    }
+
+    #[test]
+    fn spans_feed_the_trace_buffer_without_a_sink() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        let buf = Arc::new(TraceBuffer::new());
+        set_trace_buffer(Some(buf.clone()));
+        assert!(trace_enabled());
+        {
+            // Debug is filtered (no sink installed), yet the span is live
+            // for the trace buffer.
+            let s = span(Level::Debug, "hdoutlier.test", "traced");
+            assert!(s.elapsed_us().is_some());
+        }
+        set_trace_buffer(None);
+        assert!(!trace_enabled());
+        assert_eq!(buf.len(), 2);
+        {
+            let _dead = span(Level::Debug, "hdoutlier.test", "untraced");
+        }
+        assert_eq!(buf.len(), 2, "span recorded after buffer removal");
+        let json = buf.to_chrome_json();
+        assert!(json.contains("\"name\":\"traced\""), "{json}");
     }
 
     #[test]

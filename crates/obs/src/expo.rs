@@ -1,0 +1,251 @@
+//! Prometheus text exposition (format version 0.0.4) rendered from a
+//! registry snapshot.
+//!
+//! The workspace is hermetic, so this is a from-scratch implementation of
+//! the exposition format subset the registry needs: `# HELP` / `# TYPE`
+//! comment lines, counters (with the conventional `_total` suffix), gauges,
+//! and histograms as cumulative `_bucket{le="…"}` series plus `_sum` and
+//! `_count`. Dotted registry names (`hdoutlier.stream.records`) are
+//! sanitized to the metric-name grammar (`hdoutlier_stream_records`); the
+//! original dotted name is preserved as the HELP text so scrape output can
+//! be mapped back to `docs/metrics.md`.
+
+use crate::metrics::{MetricSnapshot, Registry, SnapshotValue};
+
+/// Rewrites `name` into the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`, and a
+/// leading digit is prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition spec: backslash, double quote,
+/// and line feed.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text per the exposition spec: backslash and line feed
+/// (double quotes are legal in help text).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `le` bound: finite bounds via shortest-float `Display`
+/// (`"1"`, `"0.5"`, `"20000000"`), the overflow bucket as `"+Inf"`.
+fn format_le(bound: f64) -> String {
+    if bound.is_finite() {
+        bound.to_string()
+    } else {
+        "+Inf".to_string()
+    }
+}
+
+/// Formats a sample value. Non-finite sums (impossible today, defensive)
+/// render as the exposition spec's `NaN`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition. Metrics keep the
+/// snapshot's name ordering (sorted — the registry snapshot is a BTreeMap
+/// walk), each preceded by `# HELP` and `# TYPE` lines. Counters gain a
+/// `_total` suffix unless already present; histograms emit cumulative
+/// buckets ending in `+Inf`, then `_sum` and `_count`.
+pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::with_capacity(snapshot.len() * 128);
+    for m in snapshot {
+        let base = sanitize_metric_name(&m.name);
+        match &m.value {
+            SnapshotValue::Counter(v) => {
+                let name = if base.ends_with("_total") {
+                    base
+                } else {
+                    format!("{base}_total")
+                };
+                push_header(&mut out, &name, &m.name, "counter");
+                out.push_str(&name);
+                out.push(' ');
+                out.push_str(&v.to_string());
+                out.push('\n');
+            }
+            SnapshotValue::Gauge(v) => {
+                push_header(&mut out, &base, &m.name, "gauge");
+                out.push_str(&base);
+                out.push(' ');
+                out.push_str(&v.to_string());
+                out.push('\n');
+            }
+            SnapshotValue::Histogram(h) => {
+                push_header(&mut out, &base, &m.name, "histogram");
+                let mut cumulative = 0u64;
+                for (le, count) in &h.buckets {
+                    cumulative += count;
+                    out.push_str(&base);
+                    out.push_str("_bucket{le=\"");
+                    out.push_str(&escape_label_value(&format_le(*le)));
+                    out.push_str("\"} ");
+                    out.push_str(&cumulative.to_string());
+                    out.push('\n');
+                }
+                out.push_str(&base);
+                out.push_str("_sum ");
+                out.push_str(&format_value(h.sum));
+                out.push('\n');
+                out.push_str(&base);
+                out.push_str("_count ");
+                out.push_str(&h.count.to_string());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn push_header(out: &mut String, name: &str, source: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&escape_help(source));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+impl Registry {
+    /// [`render_prometheus`] over this registry's current snapshot.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitization_rewrites_dots_and_leading_digits() {
+        assert_eq!(
+            sanitize_metric_name("hdoutlier.stream.records"),
+            "hdoutlier_stream_records"
+        );
+        assert_eq!(sanitize_metric_name("9lives-x:y"), "_9lives_x:y");
+        assert_eq!(sanitize_metric_name("µs"), "_s");
+    }
+
+    #[test]
+    fn label_escaping_covers_spec_characters() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn counter_gains_total_suffix_once() {
+        let r = Registry::new();
+        r.counter("a.requests").add(3);
+        r.counter("b.bytes_total").add(7);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE a_requests_total counter"), "{text}");
+        assert!(text.contains("\na_requests_total 3\n"), "{text}");
+        assert!(text.contains("\nb_bytes_total 7\n"), "{text}");
+        assert!(!text.contains("total_total"), "{text}");
+    }
+
+    #[test]
+    fn gauge_renders_signed_value() {
+        let r = Registry::new();
+        r.gauge("x.depth").set(-4);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE x_depth gauge"), "{text}");
+        assert!(text.contains("\nx_depth -4\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_ordered_and_end_in_inf() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("t.lat_us", &[1.0, 2.0, 5.0]);
+        for v in [0.5, 0.7, 1.5, 10.0] {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("t_lat_us_bucket"))
+            .collect();
+        assert_eq!(
+            bucket_lines,
+            vec![
+                "t_lat_us_bucket{le=\"1\"} 2",
+                "t_lat_us_bucket{le=\"2\"} 3",
+                "t_lat_us_bucket{le=\"5\"} 3",
+                "t_lat_us_bucket{le=\"+Inf\"} 4",
+            ]
+        );
+        assert!(text.contains("\nt_lat_us_sum 12.7\n"), "{text}");
+        assert!(text.contains("\nt_lat_us_count 4\n"), "{text}");
+        assert!(text.contains("# TYPE t_lat_us histogram"), "{text}");
+    }
+
+    #[test]
+    fn help_lines_carry_the_dotted_source_name() {
+        let r = Registry::new();
+        r.counter("hdoutlier.stream.records").inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP hdoutlier_stream_records_total hdoutlier.stream.records\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_buckets() {
+        let r = Registry::new();
+        r.histogram_with_bounds("h", &[1.0]);
+        let text = r.render_prometheus();
+        assert!(text.contains("h_bucket{le=\"1\"} 0"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("\nh_count 0\n"), "{text}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Live telemetry serving: a minimal HTTP/1.1 responder over
+//! `std::net::TcpListener`, good enough for a Prometheus scraper, a
+//! load-balancer health probe, and `curl`.
+//!
+//! Endpoints:
+//!
+//! - `GET /metrics`  — Prometheus text exposition ([`crate::render_prometheus`])
+//! - `GET /healthz`  — `200 ok`, for liveness probes
+//! - `GET /snapshot` — the registry's NDJSON snapshot (same dialect as
+//!   `--metrics-out`)
+//!
+//! One background thread accepts and answers connections serially — scrape
+//! traffic is rare and tiny, and serial handling keeps the server free of
+//! pools and queues. Request parsing is bounded (first line only, 8 KiB
+//! cap, 2 s read timeout) so a stuck or hostile client cannot wedge the
+//! thread for long. Shutdown flips an `Arc<AtomicBool>` and then connects
+//! to the listener itself so the blocking `accept` wakes immediately.
+
+use crate::metrics::{refresh_process_metrics, Registry};
+use std::io::{Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on buffered request bytes; everything after the request line is
+/// ignored anyway.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running telemetry server. Dropping (or calling
+/// [`MetricsServer::shutdown`]) stops the background thread and joins it.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port `0` picks an ephemeral
+    /// port — read it back from [`MetricsServer::local_addr`]) and starts
+    /// serving `registry` on a background thread.
+    ///
+    /// # Errors
+    /// The bind or thread-spawn failure, untouched.
+    pub fn serve(addr: &str, registry: &'static Registry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("hdoutlier-telemetry".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = handle_connection(&mut stream, registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a connection to ourselves. When the
+        // listener was bound to a wildcard address, connect via loopback.
+        let wake_ip = match self.addr.ip() {
+            ip if ip.is_unspecified() && ip.is_ipv4() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            ip if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            ip => ip,
+        };
+        let _ = TcpStream::connect_timeout(&SocketAddr::new(wake_ip, self.addr.port()), IO_TIMEOUT);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads the request head (bounded) and writes one response.
+fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
+    let mut filled = 0usize;
+    // Read until the request line is complete (or the head ends, or the
+    // bound is hit): everything past the first CRLF is ignored.
+    while filled < buf.len() && !buf[..filled].contains(&b'\n') {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..filled]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(stream, 400, "Bad Request", "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    // Drop any query string; scrapers sometimes append one.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            refresh_process_metrics();
+            let body = registry.render_prometheus();
+            respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(stream, 200, "OK", "text/plain", "ok\n"),
+        "/snapshot" => {
+            refresh_process_metrics();
+            let body = registry.snapshot_ndjson();
+            respond(stream, 200, "OK", "application/x-ndjson", &body)
+        }
+        _ => respond(
+            stream,
+            404,
+            "Not Found",
+            "text/plain",
+            "try /metrics, /healthz, or /snapshot\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A private registry with `'static` lifetime for the serving thread.
+    static TEST_REGISTRY: Registry = Registry::new();
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_healthz_snapshot_and_errors() {
+        TEST_REGISTRY.counter("http.test.hits").add(5);
+        TEST_REGISTRY.histogram_with_bounds("http.test.lat", &[1.0]);
+        let server = MetricsServer::serve("127.0.0.1:0", &TEST_REGISTRY).expect("bind");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.contains("http_test_hits_total 5"), "{metrics}");
+        assert!(
+            metrics.contains("http_test_lat_bucket{le=\"+Inf\"} 0"),
+            "{metrics}"
+        );
+
+        let health = get(addr, "/healthz");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let snapshot = get(addr, "/snapshot");
+        assert!(snapshot.contains("application/x-ndjson"), "{snapshot}");
+        assert!(
+            snapshot.contains("{\"metric\":\"http.test.hits\",\"type\":\"counter\",\"value\":5}"),
+            "{snapshot}"
+        );
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let query = get(addr, "/healthz?probe=1");
+        assert!(query.starts_with("HTTP/1.1 200"), "{query}");
+
+        // Non-GET is rejected without wedging the server.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+
+        server.shutdown();
+        // The port is released: a fresh bind to the same address works.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn drop_joins_the_serving_thread() {
+        let server = MetricsServer::serve("127.0.0.1:0", &TEST_REGISTRY).expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // After drop the listener is gone; connects are refused (or time
+        // out) rather than being accepted.
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        assert!(refused.is_err(), "listener still accepting after drop");
+    }
+}

@@ -21,6 +21,11 @@
 //! - **Sinks** ([`Sink`]): human-readable stderr ([`StderrSink`]), NDJSON
 //!   over any writer ([`NdjsonSink`]), and an in-memory [`CaptureSink`]
 //!   for tests — selected at runtime via [`install`].
+//! - **Live serving & profiling**: [`MetricsServer`] answers `/metrics`
+//!   (Prometheus text exposition, [`render_prometheus`]), `/healthz`, and
+//!   `/snapshot` (NDJSON) on a background thread; a [`TraceBuffer`]
+//!   installed via [`set_trace_buffer`] collects every closed [`Span`] as
+//!   Chrome trace-event JSON loadable in Perfetto.
 //!
 //! Naming scheme: every event target and metric is
 //! `hdoutlier.<crate>.<name>` (see `docs/metrics.md` in the repo root for
@@ -44,18 +49,24 @@
 
 mod dispatch;
 mod event;
+mod expo;
+mod http;
 mod level;
 mod metrics;
 mod sink;
+mod trace;
 
 pub use dispatch::{
-    enabled, event, install, max_level, set_max_level, set_timing, span, timing_enabled, ts_us,
-    uninstall, Span,
+    enabled, event, install, max_level, set_max_level, set_timing, set_trace_buffer, span,
+    timing_enabled, trace_enabled, ts_us, uninstall, Span,
 };
 pub use event::{EventRecord, Field, Value};
+pub use expo::{escape_label_value, render_prometheus, sanitize_metric_name};
+pub use http::MetricsServer;
 pub use level::{Level, ParseLevelError};
 pub use metrics::{
-    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry,
-    SnapshotValue, DURATION_US_BOUNDS,
+    refresh_process_metrics, registry, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricSnapshot, Registry, SnapshotValue, DURATION_US_BOUNDS,
 };
 pub use sink::{render_human, render_ndjson, CaptureSink, NdjsonSink, Sink, StderrSink};
+pub use trace::TraceBuffer;

@@ -146,7 +146,8 @@ impl Histogram {
 
     /// Point-in-time summary. Concurrent recorders may make `count` and the
     /// per-bucket totals momentarily inconsistent; each field is itself
-    /// coherent.
+    /// coherent. The returned `buckets` pair each upper bound with its
+    /// (non-cumulative) count, so `count` always equals the bucket total.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
         let counts: Vec<u64> = inner
@@ -155,6 +156,13 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let count: u64 = counts.iter().sum();
+        let buckets: Vec<(f64, u64)> = inner
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(counts.iter().copied())
+            .collect();
         if count == 0 {
             return HistogramSnapshot {
                 count: 0,
@@ -164,6 +172,7 @@ impl Histogram {
                 p50: 0.0,
                 p90: 0.0,
                 p99: 0.0,
+                buckets,
             };
         }
         let min = inner.min.load();
@@ -191,13 +200,14 @@ impl Histogram {
             p50: quantile(0.50),
             p90: quantile(0.90),
             p99: quantile(0.99),
+            buckets,
         }
     }
 }
 
-/// Summary of a [`Histogram`] at one point in time. All fields are zero
-/// when nothing has been recorded.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Summary of a [`Histogram`] at one point in time. All scalar fields are
+/// zero when nothing has been recorded (the bucket list keeps its shape).
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -213,6 +223,10 @@ pub struct HistogramSnapshot {
     pub p90: f64,
     /// 99th percentile estimate.
     pub p99: f64,
+    /// `(upper_bound, count)` per bucket, ascending, the overflow bucket
+    /// (`f64::INFINITY` bound) last. Counts are per-bucket, not cumulative,
+    /// so external consumers can rebuild the distribution exactly.
+    pub buckets: Vec<(f64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -361,7 +375,10 @@ impl Registry {
     }
 
     /// The snapshot as NDJSON: one object per metric, sorted by name, each
-    /// line `{"metric":"…","type":"counter|gauge|histogram",…}`.
+    /// line `{"metric":"…","type":"counter|gauge|histogram",…}`. Histogram
+    /// lines carry the full `(le, count)` bucket list (per-bucket counts,
+    /// `le` of the overflow bucket rendered as `"+Inf"`) so consumers can
+    /// rebuild the distribution instead of only reading baked quantiles.
     pub fn snapshot_ndjson(&self) -> String {
         let mut out = String::new();
         for m in self.snapshot() {
@@ -398,6 +415,22 @@ impl Registry {
                             out.push_str("null");
                         }
                     }
+                    out.push_str(",\"buckets\":[");
+                    for (i, (le, count)) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"le\":");
+                        if le.is_finite() {
+                            out.push_str(&le.to_string());
+                        } else {
+                            out.push_str("\"+Inf\"");
+                        }
+                        out.push_str(",\"count\":");
+                        out.push_str(&count.to_string());
+                        out.push('}');
+                    }
+                    out.push(']');
                 }
             }
             out.push_str("}\n");
@@ -412,6 +445,36 @@ static REGISTRY: Registry = Registry::new();
 /// here; the CLI's `--metrics-out` snapshots it at exit.
 pub fn registry() -> &'static Registry {
     &REGISTRY
+}
+
+/// Guards the one-time seeding of `hdoutlier.process.start_ts_us`.
+static PROCESS_START_SEEDED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+
+/// Registers (on first call) and refreshes the process-level metrics in the
+/// global registry:
+///
+/// - `hdoutlier.process.uptime_seconds` — gauge, seconds since the
+///   dispatcher epoch, refreshed on every call (the `/metrics` server calls
+///   this per scrape, so rates can be computed without client-side state);
+/// - `hdoutlier.process.start_ts_us` — counter, microseconds between the
+///   Unix epoch and process start, seeded exactly once.
+///
+/// Called by [`crate::install`] and by the telemetry server before every
+/// snapshot; safe to call from anywhere, any number of times.
+pub fn refresh_process_metrics() {
+    let up_us = crate::ts_us();
+    registry()
+        .gauge("hdoutlier.process.uptime_seconds")
+        .set((up_us / 1_000_000) as i64);
+    PROCESS_START_SEEDED.get_or_init(|| {
+        let now_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        registry()
+            .counter("hdoutlier.process.start_ts_us")
+            .add(now_unix_us.saturating_sub(up_us));
+    });
 }
 
 #[cfg(test)]
@@ -544,5 +607,52 @@ mod tests {
     #[test]
     fn default_duration_bounds_are_ascending() {
         assert!(DURATION_US_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_carries_buckets_matching_raw_counts() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("h", &[1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0, 50.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(1.0, 1), (10.0, 1), (f64::INFINITY, 2)]);
+        assert_eq!(s.count, s.buckets.iter().map(|&(_, c)| c).sum::<u64>());
+        // Empty histograms keep the bucket shape with zero counts.
+        let empty = r.histogram_with_bounds("e", &[1.0]).snapshot();
+        assert_eq!(empty.buckets, vec![(1.0, 0), (f64::INFINITY, 0)]);
+    }
+
+    #[test]
+    fn snapshot_ndjson_histogram_emits_le_count_pairs() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("h", &[1.0, 10.0]);
+        h.record(0.5);
+        h.record(99.0);
+        let text = r.snapshot_ndjson();
+        let line = text.lines().next().unwrap();
+        assert!(
+            line.contains(
+                "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":0},\
+                 {\"le\":\"+Inf\",\"count\":1}]"
+            ),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn process_metrics_register_and_refresh() {
+        refresh_process_metrics();
+        let start = registry().counter("hdoutlier.process.start_ts_us").get();
+        assert!(start > 0, "start_ts_us seeded");
+        refresh_process_metrics();
+        assert_eq!(
+            registry().counter("hdoutlier.process.start_ts_us").get(),
+            start,
+            "seeded exactly once"
+        );
+        let up = registry().gauge("hdoutlier.process.uptime_seconds").get();
+        assert!(up >= 0);
     }
 }

@@ -127,6 +127,88 @@ fn global_registry_handles_are_shared() {
 }
 
 #[test]
+fn scrape_while_recording_is_consistent() {
+    // A live /metrics scrape renders from the same registry the hot path
+    // is writing to. Hammer a private registry from writer threads while a
+    // reader renders Prometheus text in a loop: every render must parse
+    // into internally consistent series (cumulative buckets monotone,
+    // +Inf bucket == _count), never torn or panicking.
+    static SCRAPED: obs::Registry = obs::Registry::new();
+    const WRITERS: usize = 4;
+    const PER_THREAD: u64 = 20_000;
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            thread::spawn(|| {
+                let c = SCRAPED.counter("hdoutlier.test.race.events");
+                let h = SCRAPED.histogram_with_bounds("hdoutlier.test.race.lat", &[1.0, 10.0]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record((i % 20) as f64);
+                }
+            })
+        })
+        .collect();
+    let reader = thread::spawn(|| {
+        let mut renders = 0u32;
+        for _ in 0..200 {
+            let text = SCRAPED.render_prometheus();
+            let buckets: Vec<u64> = text
+                .lines()
+                .filter(|l| l.starts_with("hdoutlier_test_race_lat_bucket"))
+                .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+                .collect();
+            if buckets.is_empty() {
+                continue; // histogram not registered yet
+            }
+            assert!(
+                buckets.windows(2).all(|w| w[0] <= w[1]),
+                "non-cumulative buckets: {buckets:?}"
+            );
+            let count: u64 = text
+                .lines()
+                .find(|l| l.starts_with("hdoutlier_test_race_lat_count"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(*buckets.last().unwrap(), count, "+Inf bucket != count");
+            renders += 1;
+        }
+        renders
+    });
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(reader.join().unwrap() > 0, "reader never saw the histogram");
+    // Quiesced totals line up exactly.
+    let text = SCRAPED.render_prometheus();
+    assert!(
+        text.contains(&format!(
+            "hdoutlier_test_race_events_total {}",
+            WRITERS as u64 * PER_THREAD
+        )),
+        "{text}"
+    );
+}
+
+#[test]
+fn metrics_server_serves_live_registry_over_tcp() {
+    use std::io::{Read, Write};
+    static SERVED: obs::Registry = obs::Registry::new();
+    SERVED.counter("hdoutlier.test.live.hits").add(11);
+    let server = obs::MetricsServer::serve("127.0.0.1:0", &SERVED).expect("bind");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response");
+    assert!(body.contains("hdoutlier_test_live_hits_total 11"), "{body}");
+    server.shutdown();
+}
+
+#[test]
 fn span_guard_emits_elapsed_into_capture() {
     // Serializes against other dispatcher users in this binary only; unit
     // tests inside the crate use their own lock, so keep this tolerant:

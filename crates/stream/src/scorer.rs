@@ -165,6 +165,7 @@ impl OnlineScorer {
         let index = self.scored;
         self.scored += 1;
         let drift = if self.scored.is_multiple_of(self.check_every) {
+            let _span = obs::span(obs::Level::Debug, TARGET, "drift_check");
             self.metrics.drift_checks.inc();
             let report = self.monitor.report(self.alpha);
             if report.any_drift() {
