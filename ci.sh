@@ -19,3 +19,17 @@ cargo test -q --offline -p hdoutlier-cli --test smoke
 # counter and histogram buckets; validate `--trace-out` parses as Chrome
 # trace-event JSON (crates/cli/tests/live.rs).
 cargo test -q --offline -p hdoutlier-cli --test live
+
+# Fault tolerance: checkpoint atomicity under simulated kills
+# (crates/stream/tests/faults.rs) and the scripted-I/O harness driving the
+# stream error policies, circuit breaker, and kill/resume equivalence
+# (crates/cli/tests/fault_injection.rs).
+cargo test -q --offline -p hdoutlier-stream --test faults
+cargo test -q --offline -p hdoutlier-cli --test fault_injection
+
+# Perf gate: the streaming hot path must stay within noise of the recorded
+# baseline (BENCH_stream.json). Tolerance is generous (50%) because absolute
+# wall-clock varies across machines; it exists to catch accidental
+# per-record I/O or timing syscalls creeping into the default path.
+cargo run -q --offline --release -p hdoutlier-bench --bin stream_throughput -- \
+    --assert-against BENCH_stream.json --tolerance 0.5

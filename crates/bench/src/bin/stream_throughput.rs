@@ -23,10 +23,18 @@
 //! written (stage throughputs, latency percentiles, git metadata) for the
 //! repo's perf trajectory; the timing gate is enabled so the percentiles
 //! are populated, which the datapoint records in its `config.timing` knob.
+//!
+//! With `--assert-against <BENCH_stream.json>` the run becomes a regression
+//! gate: the end-to-end us/record is compared to the baseline datapoint and
+//! the process exits 1 when it exceeds `baseline * (1 + --tolerance)`
+//! (tolerance defaults to 0.5 — generous because absolute wall-clock varies
+//! across machines; the gate exists to catch order-of-magnitude slips in the
+//! default hot path, e.g. accidental per-record I/O or timing syscalls).
 
 use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_core::{OutlierDetector, SearchMethod};
 use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_json::Json;
 use hdoutlier_obs as obs;
 use hdoutlier_stream::{OnlineScorer, StreamingDiscretizer, WindowCounter};
 use std::time::Instant;
@@ -47,6 +55,17 @@ fn main() {
     };
     let metrics_out = take_path("--metrics-out");
     let bench_json = take_path("--bench-json");
+    let assert_against = take_path("--assert-against");
+    let tolerance: f64 = match take_path("--tolerance") {
+        None => 0.5,
+        Some(raw) => match raw.parse() {
+            Ok(t) if t > 0.0 => t,
+            _ => {
+                eprintln!("--tolerance must be a positive fraction, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    };
     obs::set_timing(metrics_out.is_some() || bench_json.is_some());
     let mut bench = bench_json.as_ref().map(|_| BenchReport::new("stream"));
     let n_rows: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
@@ -129,7 +148,9 @@ fn main() {
         let v = scorer.score_record(r).expect("score");
         counter.push(&v.cells).expect("push");
     }
-    report("end-to-end", n_rows, t.elapsed(), &mut bench);
+    let end_to_end = t.elapsed();
+    report("end-to-end", n_rows, end_to_end, &mut bench);
+    let end_to_end_us = end_to_end.as_secs_f64() * 1e6 / n_rows as f64;
     println!(
         "  (sketch summary sizes: {:?})",
         (0..n_dims.min(4))
@@ -169,6 +190,43 @@ fn main() {
         }
         println!("bench datapoint written to {path}");
     }
+
+    if let Some(path) = assert_against {
+        let baseline = baseline_end_to_end_us(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let limit = baseline * (1.0 + tolerance);
+        println!(
+            "regression gate: end-to-end {end_to_end_us:.3} us/record vs baseline \
+             {baseline:.3} (limit {limit:.3}, tolerance {tolerance})"
+        );
+        if end_to_end_us > limit {
+            eprintln!(
+                "REGRESSION: end-to-end {end_to_end_us:.3} us/record exceeds \
+                 {limit:.3} ({baseline:.3} from {path} + {:.0}%)",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads the `end-to-end` stage's us/record from a BENCH_stream.json
+/// baseline datapoint.
+fn baseline_end_to_end_us(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text).map_err(|e| e.to_string())?;
+    json.get("stages")
+        .and_then(Json::as_array)
+        .and_then(|stages| {
+            stages
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some("end-to-end"))
+        })
+        .and_then(|s| s.get("us_per_record"))
+        .and_then(Json::as_number)
+        .ok_or_else(|| "no end-to-end stage with us_per_record".to_string())
 }
 
 fn report(stage: &str, n: usize, elapsed: std::time::Duration, bench: &mut Option<BenchReport>) {

@@ -37,8 +37,26 @@ OPTIONS:
     --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
-/// Runs the subcommand.
+/// Runs the subcommand against stdout.
 pub fn run(argv: &[String]) -> (i32, String) {
+    let stdout = std::io::stdout();
+    run_to(argv, &mut stdout.lock())
+}
+
+/// Runs the subcommand, collecting the report and any error text into one
+/// string (the test entry point).
+pub fn run_captured(argv: &[String]) -> (i32, String) {
+    let mut sink = Vec::new();
+    let (code, err) = run_to(argv, &mut sink);
+    let mut out = String::from_utf8(sink).expect("reports are valid UTF-8");
+    out.push_str(&err);
+    (code, out)
+}
+
+/// The command core: the report goes to `sink` (a consumer closing the pipe
+/// early — `| head` — is a normal shutdown); the returned string carries
+/// only help or error text.
+pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
         &[
             "method",
@@ -164,7 +182,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         Err(e) => return (exit::RUNTIME, format!("baseline failed: {e}")),
     };
 
-    if parsed.has("json") {
+    let rendered = if parsed.has("json") {
         let j = ranked
             .iter()
             .map(|&(row, score)| Json::object().field("row", row).field("score", score))
@@ -174,22 +192,24 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("method", method)
                     .field("outliers", Json::Array(items))
             });
-        return match j {
-            Ok(j) => match session.finish() {
-                Ok(()) => (exit::OK, j.pretty() + "\n"),
-                Err(e) => (exit::RUNTIME, e),
-            },
-            Err(e) => (exit::RUNTIME, format!("failed to render ranking: {e}")),
-        };
-    }
-    let mut out = format!("{method}: {} outlier(s)\n", ranked.len());
-    for (row, score) in &ranked {
-        out.push_str(&format!("  row {row:>6}  score {score:.4}\n"));
-    }
-    if let Err(e) = session.finish() {
+        match j {
+            Ok(j) => j.pretty() + "\n",
+            Err(e) => return (exit::RUNTIME, format!("failed to render ranking: {e}")),
+        }
+    } else {
+        let mut out = format!("{method}: {} outlier(s)\n", ranked.len());
+        for (row, score) in &ranked {
+            out.push_str(&format!("  row {row:>6}  score {score:.4}\n"));
+        }
+        out
+    };
+    if let Err(e) = super::emit_report(sink, &rendered) {
         return (exit::RUNTIME, e);
     }
-    (exit::OK, out)
+    match session.finish() {
+        Ok(()) => (exit::OK, String::new()),
+        Err(e) => (exit::RUNTIME, e),
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +224,7 @@ mod tests {
     #[test]
     fn knn_baseline_runs() {
         let (path, _) = planted_csv("baseline-knn");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method",
             "knn",
             "--top",
@@ -218,14 +238,14 @@ mod tests {
     #[test]
     fn lof_and_knorr_ng_run() {
         let (path, _) = planted_csv("baseline-lof");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method=lof",
             "--k=5",
             "--top=3",
             path.to_str().unwrap(),
         ]));
         assert_eq!(code, exit::OK, "{out}");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method=knorr-ng",
             "--k=2",
             path.to_str().unwrap(),
@@ -236,7 +256,7 @@ mod tests {
     #[test]
     fn intensional_method_runs() {
         let (path, _) = planted_csv("baseline-intensional");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method=intensional",
             "--k=2",
             "--depth=2",
@@ -249,7 +269,7 @@ mod tests {
     #[test]
     fn json_output_and_metric_choice() {
         let (path, _) = planted_csv("baseline-json");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method=knn",
             "--metric=manhattan",
             "--json",
@@ -262,14 +282,14 @@ mod tests {
 
     #[test]
     fn usage_errors() {
-        let (code, out) = super::run(&argv(&["x.csv"]));
+        let (code, out) = super::run_captured(&argv(&["x.csv"]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("--method is required"));
         let (path, _) = planted_csv("baseline-err");
-        let (code, out) = super::run(&argv(&["--method=magic", path.to_str().unwrap()]));
+        let (code, out) = super::run_captured(&argv(&["--method=magic", path.to_str().unwrap()]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("knn|lof|knorr-ng|intensional"));
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--method=knn",
             "--metric=cosine",
             path.to_str().unwrap(),
@@ -285,11 +305,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("baseline-missing.csv");
         std::fs::write(&path, "a,b\n1,2\nNaN,4\n5,6\n7,8\n").unwrap();
-        let (code, out) = super::run(&argv(&["--method=knn", path.to_str().unwrap()]));
+        let (code, out) = super::run_captured(&argv(&["--method=knn", path.to_str().unwrap()]));
         assert_eq!(code, exit::RUNTIME);
         assert!(out.contains("missing"), "{out}");
         // With --impute it succeeds.
-        let (code, _) = super::run(&argv(&[
+        let (code, _) = super::run_captured(&argv(&[
             "--method=knn",
             "--impute",
             "--top=2",

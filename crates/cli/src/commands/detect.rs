@@ -41,8 +41,26 @@ OPTIONS:
                          while detection runs (e.g. 127.0.0.1:9184)
 ";
 
-/// Runs the subcommand.
+/// Runs the subcommand against stdout.
 pub fn run(argv: &[String]) -> (i32, String) {
+    let stdout = std::io::stdout();
+    run_to(argv, &mut stdout.lock())
+}
+
+/// Runs the subcommand, collecting the report and any error text into one
+/// string (the test entry point).
+pub fn run_captured(argv: &[String]) -> (i32, String) {
+    let mut sink = Vec::new();
+    let (code, err) = run_to(argv, &mut sink);
+    let mut out = String::from_utf8(sink).expect("reports are valid UTF-8");
+    out.push_str(&err);
+    (code, out)
+}
+
+/// The command core: the report goes to `sink` (a consumer closing the pipe
+/// early — `| head` — is a normal shutdown); the returned string carries
+/// only help or error text.
+pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
         &[
             "phi",
@@ -168,21 +186,24 @@ pub fn run(argv: &[String]) -> (i32, String) {
         }
     }
 
-    let (code, out) = if parsed.has("quiet") {
+    let rendered = if parsed.has("quiet") {
         let rows: Vec<String> = report.outlier_rows.iter().map(usize::to_string).collect();
-        (exit::OK, rows.join("\n") + "\n")
+        rows.join("\n") + "\n"
     } else if parsed.has("json") {
         match render_json(&report, &disc, session.wants_metrics()) {
-            Ok(json) => (exit::OK, json.pretty() + "\n"),
+            Ok(json) => json.pretty() + "\n",
             Err(e) => return (exit::RUNTIME, format!("failed to render report: {e}")),
         }
     } else {
-        (exit::OK, render_text(&report, &disc))
+        render_text(&report, &disc)
     };
-    if let Err(e) = session.finish() {
+    if let Err(e) = super::emit_report(sink, &rendered) {
         return (exit::RUNTIME, e);
     }
-    (code, out)
+    match session.finish() {
+        Ok(()) => (exit::OK, String::new()),
+        Err(e) => (exit::RUNTIME, e),
+    }
 }
 
 fn render_text(report: &hdoutlier_core::OutlierReport, disc: &Discretized) -> String {
@@ -252,7 +273,7 @@ mod tests {
     #[test]
     fn detect_finds_planted_outliers_in_csv() {
         let (path, planted_rows) = planted_csv("detect-basic");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--phi",
             "4",
             "--k",
@@ -272,7 +293,7 @@ mod tests {
     #[test]
     fn quiet_mode_prints_only_indices() {
         let (path, _) = planted_csv("detect-quiet");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--phi",
             "4",
             "--k",
@@ -293,7 +314,7 @@ mod tests {
     #[test]
     fn json_mode_emits_wellformed_structure() {
         let (path, _) = planted_csv("detect-json");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--phi=4",
             "--k=2",
             "--m=3",
@@ -311,22 +332,22 @@ mod tests {
 
     #[test]
     fn usage_errors() {
-        let (code, out) = super::run(&argv(&["--bogus", "x.csv"]));
+        let (code, out) = super::run_captured(&argv(&["--bogus", "x.csv"]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("unknown option"));
-        let (code, _) = super::run(&argv(&["--help"]));
+        let (code, _) = super::run_captured(&argv(&["--help"]));
         assert_eq!(code, exit::OK);
-        let (code, out) = super::run(&argv(&["--search", "magic", "x.csv"]));
+        let (code, out) = super::run_captured(&argv(&["--search", "magic", "x.csv"]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("--search"));
-        let (code, out) = super::run(&argv(&[]));
+        let (code, out) = super::run_captured(&argv(&[]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("missing input"));
     }
 
     #[test]
     fn runtime_error_on_missing_file() {
-        let (code, out) = super::run(&argv(&["/nonexistent/nope.csv"]));
+        let (code, out) = super::run_captured(&argv(&["/nonexistent/nope.csv"]));
         assert_eq!(code, exit::RUNTIME);
         assert!(out.contains("failed to read"));
     }
@@ -334,7 +355,7 @@ mod tests {
     #[test]
     fn threshold_filters() {
         let (path, _) = planted_csv("detect-threshold");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--phi=4",
             "--k=2",
             "--m=20",

@@ -32,8 +32,26 @@ OPTIONS:
     --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
 ";
 
-/// Runs the subcommand.
+/// Runs the subcommand against stdout.
 pub fn run(argv: &[String]) -> (i32, String) {
+    let stdout = std::io::stdout();
+    run_to(argv, &mut stdout.lock())
+}
+
+/// Runs the subcommand, collecting the report and any error text into one
+/// string (the test entry point).
+pub fn run_captured(argv: &[String]) -> (i32, String) {
+    let mut sink = Vec::new();
+    let (code, err) = run_to(argv, &mut sink);
+    let mut out = String::from_utf8(sink).expect("reports are valid UTF-8");
+    out.push_str(&err);
+    (code, out)
+}
+
+/// The command core: the report goes to `sink` (a consumer closing the pipe
+/// early — `| head` — is a normal shutdown); the returned string carries
+/// only help or error text.
+pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
         &["row", "phi", "k", "top", "label-column", "delimiter"],
         &["json", "no-header"],
@@ -111,7 +129,7 @@ pub fn run(argv: &[String]) -> (i32, String) {
         record_profile(&counter, &disc, row, &ks)
     };
 
-    if parsed.has("json") {
+    let rendered = if parsed.has("json") {
         let j = profile
             .iter()
             .take(top)
@@ -136,37 +154,39 @@ pub fn run(argv: &[String]) -> (i32, String) {
                     .field("views_total", profile.len())
                     .field("views", Json::Array(items))
             });
-        return match j {
-            Ok(j) => match session.finish() {
-                Ok(()) => (exit::OK, j.pretty() + "\n"),
-                Err(e) => (exit::RUNTIME, e),
-            },
-            Err(e) => (exit::RUNTIME, format!("failed to render profile: {e}")),
-        };
-    }
-    let mut out = format!(
-        "record {row}: {} views across k = {ks:?}, most abnormal first\n\n",
-        profile.len()
-    );
-    for v in profile.iter().take(top) {
-        let dims: Vec<String> = v
-            .cube
-            .dims()
-            .iter()
-            .map(|&d| disc.name(d as usize).to_string())
-            .collect();
-        out.push_str(&format!(
-            "  [{}]  count {:>4}  S = {:>7.2}  exact P = {:.3e}\n",
-            dims.join(", "),
-            v.count,
-            v.sparsity,
-            v.exact_significance
-        ));
-    }
-    if let Err(e) = session.finish() {
+        match j {
+            Ok(j) => j.pretty() + "\n",
+            Err(e) => return (exit::RUNTIME, format!("failed to render profile: {e}")),
+        }
+    } else {
+        let mut out = format!(
+            "record {row}: {} views across k = {ks:?}, most abnormal first\n\n",
+            profile.len()
+        );
+        for v in profile.iter().take(top) {
+            let dims: Vec<String> = v
+                .cube
+                .dims()
+                .iter()
+                .map(|&d| disc.name(d as usize).to_string())
+                .collect();
+            out.push_str(&format!(
+                "  [{}]  count {:>4}  S = {:>7.2}  exact P = {:.3e}\n",
+                dims.join(", "),
+                v.count,
+                v.sparsity,
+                v.exact_significance
+            ));
+        }
+        out
+    };
+    if let Err(e) = super::emit_report(sink, &rendered) {
         return (exit::RUNTIME, e);
     }
-    (exit::OK, out)
+    match session.finish() {
+        Ok(()) => (exit::OK, String::new()),
+        Err(e) => (exit::RUNTIME, e),
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +202,7 @@ mod tests {
     fn profiles_a_planted_outlier() {
         let (path, planted_rows) = planted_csv("explain-basic");
         let row = planted_rows[0].to_string();
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--row",
             &row,
             "--phi=4",
@@ -199,7 +219,7 @@ mod tests {
     #[test]
     fn json_output() {
         let (path, _) = planted_csv("explain-json");
-        let (code, out) = super::run(&argv(&[
+        let (code, out) = super::run_captured(&argv(&[
             "--row=0",
             "--phi=4",
             "--k=1,2",
@@ -214,16 +234,17 @@ mod tests {
     #[test]
     fn errors() {
         let (path, _) = planted_csv("explain-errors");
-        let (code, out) = super::run(&argv(&[path.to_str().unwrap()]));
+        let (code, out) = super::run_captured(&argv(&[path.to_str().unwrap()]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("--row"));
-        let (code, out) = super::run(&argv(&["--row=99999", path.to_str().unwrap()]));
+        let (code, out) = super::run_captured(&argv(&["--row=99999", path.to_str().unwrap()]));
         assert_eq!(code, exit::RUNTIME);
         assert!(out.contains("out of bounds"));
-        let (code, out) = super::run(&argv(&["--row=0", "--k=0", path.to_str().unwrap()]));
+        let (code, out) = super::run_captured(&argv(&["--row=0", "--k=0", path.to_str().unwrap()]));
         assert_eq!(code, exit::RUNTIME);
         assert!(out.contains("out of range"));
-        let (code, out) = super::run(&argv(&["--row=0", "--k=a,b", path.to_str().unwrap()]));
+        let (code, out) =
+            super::run_captured(&argv(&["--row=0", "--k=a,b", path.to_str().unwrap()]));
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("comma-separated"));
     }

@@ -31,6 +31,20 @@ pub(crate) fn usage_err(e: ArgError, help: &str) -> (i32, String) {
     (exit::USAGE, format!("{e}\n\n{help}"))
 }
 
+/// Writes a rendered report to the command's sink. A consumer closing the
+/// pipe early (`hdoutlier ... | head`) is a normal shutdown, not a failure;
+/// any other write error is returned as runtime-error text.
+pub(crate) fn emit_report(sink: &mut impl std::io::Write, rendered: &str) -> Result<(), String> {
+    match sink
+        .write_all(rendered.as_bytes())
+        .and_then(|()| sink.flush())
+    {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("stdout write failed: {e}")),
+    }
+}
+
 /// Loads the dataset named by the positional argument, honoring the shared
 /// input flags (`--no-header`, `--label-column`, `--delimiter`).
 pub(crate) fn load_dataset(parsed: &Parsed, help: &str) -> Result<Dataset, (i32, String)> {

@@ -130,7 +130,7 @@ mod tests {
     fn save_model(name: &str) -> (std::path::PathBuf, std::path::PathBuf, Vec<usize>) {
         let (csv, planted_rows) = planted_csv(name);
         let model_path = csv.with_extension("model.json");
-        let (code, out) = crate::commands::detect::run(&argv(&[
+        let (code, out) = crate::commands::detect::run_captured(&argv(&[
             "--phi=4",
             "--k=2",
             "--m=6",

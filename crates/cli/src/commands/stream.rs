@@ -1,14 +1,23 @@
 //! `hdoutlier stream` — score CSV records arriving on stdin, one NDJSON
 //! verdict per record, using a model saved by `detect --save-model`.
+//!
+//! This is the long-running deployment surface, so it carries the fault
+//! tolerance the one-shot commands do not need: a bad-record policy
+//! (`--on-error abort|skip|quarantine:<path>`) with a consecutive-failure
+//! circuit breaker, and atomic checkpoint/resume of the scorer state
+//! (`--checkpoint`/`--resume`) so a crash or redeploy does not silently
+//! reset the drift statistics or the record index.
 
 use super::parse_or_usage;
+use crate::args::Parsed;
 use crate::exit;
 use crate::json::{FieldChain, Json, JsonError};
 use crate::model_io;
 use crate::obs_setup::{self, ObsSession};
 use hdoutlier_obs as obs;
-use hdoutlier_stream::{DriftReport, OnlineScorer, Verdict};
+use hdoutlier_stream::{Checkpoint, DriftReport, OnlineScorer, Verdict};
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 
 /// Per-command help.
 pub const HELP: &str = "\
@@ -28,8 +37,25 @@ OPTIONS:
     --delimiter <c>      field separator (default ',')
     --no-header          first line is data, not column names
     --outliers-only      emit verdicts only for flagged records
+                         (error verdicts are still emitted)
     --drift-alpha <a>    drift-test significance level (default 0.01)
     --drift-every <n>    records between drift checks (default 512)
+    --on-error <p>       bad-record policy: abort | skip | quarantine:<path>
+                         (default abort). skip/quarantine emit an NDJSON
+                         error verdict (line number + reason) and keep
+                         scoring; quarantine also appends the raw line to
+                         <path>
+    --max-consecutive-errors <n>
+                         circuit breaker: abort regardless of policy after
+                         <n> consecutive bad records (default 100)
+    --checkpoint <path>  persist scorer state (record index, drift
+                         occupancy, totals) to <path> atomically every
+                         --checkpoint-every records and at EOF
+    --checkpoint-every <n>
+                         records between checkpoints (default 1000)
+    --resume <path>      restore state from a checkpoint before scoring; it
+                         must match the model's grid fingerprint. Feed the
+                         remaining records (headerless, with --no-header)
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable per-record latency metrics, snapshot to <p> at EOF
@@ -37,6 +63,9 @@ OPTIONS:
     --serve-metrics <a>  serve /metrics, /healthz, /snapshot over HTTP on <a>
                          while the stream runs (e.g. 127.0.0.1:9184)
 ";
+
+/// Event target for the streaming command.
+const TARGET: &str = "hdoutlier.stream";
 
 /// Runs the subcommand against real stdin, writing each verdict to stdout
 /// as soon as it is computed (flushed per record, so `tail -f | hdoutlier
@@ -59,13 +88,21 @@ pub fn run_with_input(argv: &[String], input: impl BufRead) -> (i32, String) {
 
 /// The streaming core: verdicts go to `sink` record by record; the returned
 /// string carries only usage/runtime error text (empty on success).
-fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) -> (i32, String) {
+///
+/// Exposed to the fault-injection integration tests, which drive it with
+/// readers and writers that fail at scripted points.
+pub fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
         &[
             "model",
             "delimiter",
             "drift-alpha",
             "drift-every",
+            "on-error",
+            "max-consecutive-errors",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
             "serve-metrics",
         ],
         &["no-header", "outliers-only"],
@@ -78,6 +115,46 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
         Ok(s) => s,
         Err(e) => return (exit::USAGE, format!("{e}\n\n{HELP}")),
     };
+    // Everything past session init funnels through one exit point so the
+    // telemetry exports (`--metrics-out`/`--trace-out`) are flushed on
+    // *every* path, error exits included.
+    let (code, out) = stream_under_session(&parsed, input, sink);
+    match session.finish() {
+        Ok(()) => (code, out),
+        Err(e) if code == exit::OK => (exit::RUNTIME, e),
+        // Best-effort on failure paths: report the flush failure without
+        // masking the original error.
+        Err(e) => (code, format!("{out}\n(telemetry flush also failed: {e})")),
+    }
+}
+
+/// What to do with a record that cannot be parsed or scored.
+enum ErrorPolicy {
+    /// Stop the stream with a runtime error (the default).
+    Abort,
+    /// Emit an NDJSON error verdict and keep scoring.
+    Skip,
+    /// Like skip, and also append the raw line to the file at this path.
+    Quarantine(String),
+}
+
+impl ErrorPolicy {
+    fn action(&self) -> &'static str {
+        match self {
+            ErrorPolicy::Abort => "abort",
+            ErrorPolicy::Skip => "skip",
+            ErrorPolicy::Quarantine(_) => "quarantine",
+        }
+    }
+}
+
+/// The post-session-init half of the command: flag validation, model load,
+/// resume, and the scoring loop.
+fn stream_under_session(
+    parsed: &Parsed,
+    input: impl BufRead,
+    sink: &mut impl Write,
+) -> (i32, String) {
     if let Some(path) = parsed.positional().first() {
         return (
             exit::USAGE,
@@ -97,6 +174,51 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
             )
         }
     };
+    let policy = match parsed.get("on-error") {
+        None | Some("abort") => ErrorPolicy::Abort,
+        Some("skip") => ErrorPolicy::Skip,
+        Some(spec) => match spec.strip_prefix("quarantine:") {
+            Some(path) if !path.is_empty() => ErrorPolicy::Quarantine(path.to_string()),
+            _ => {
+                return (
+                    exit::USAGE,
+                    format!(
+                        "--on-error must be abort|skip|quarantine:<path>, got {spec:?}\n\n{HELP}"
+                    ),
+                )
+            }
+        },
+    };
+    let max_consecutive: u64 = match parsed.opt::<u64>("max-consecutive-errors", "integer") {
+        Ok(Some(0)) => {
+            return (
+                exit::USAGE,
+                format!("--max-consecutive-errors must be positive\n\n{HELP}"),
+            )
+        }
+        Ok(Some(n)) => n,
+        Ok(None) => 100,
+        Err(e) => return super::usage_err(e, HELP),
+    };
+    let checkpoint_path: Option<PathBuf> = parsed.get("checkpoint").map(PathBuf::from);
+    let checkpoint_every: u64 = match parsed.opt::<u64>("checkpoint-every", "integer") {
+        Ok(Some(0)) => {
+            return (
+                exit::USAGE,
+                format!("--checkpoint-every must be positive\n\n{HELP}"),
+            )
+        }
+        Ok(Some(n)) if checkpoint_path.is_none() => {
+            let _ = n;
+            return (
+                exit::USAGE,
+                format!("--checkpoint-every requires --checkpoint <path>\n\n{HELP}"),
+            );
+        }
+        Ok(Some(n)) => n,
+        Ok(None) => 1000,
+        Err(e) => return super::usage_err(e, HELP),
+    };
 
     let text = match std::fs::read_to_string(model_path) {
         Ok(t) => t,
@@ -110,6 +232,32 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
         Ok(s) => s,
         Err(e) => return (exit::RUNTIME, format!("model unusable for streaming: {e}")),
     };
+
+    // Resume first, then explicit drift flags: a flag given on the resumed
+    // invocation deliberately overrides the checkpointed cadence/alpha.
+    let mut skipped_total = 0u64;
+    let mut quarantined_total = 0u64;
+    if let Some(path) = parsed.get("resume") {
+        let cp = match Checkpoint::load(std::path::Path::new(path)) {
+            Ok(cp) => cp,
+            Err(e) => return (exit::RUNTIME, format!("cannot resume from {path}: {e}")),
+        };
+        if let Err(e) = cp.restore(&mut scorer) {
+            return (exit::RUNTIME, format!("cannot resume from {path}: {e}"));
+        }
+        skipped_total = cp.skipped;
+        quarantined_total = cp.quarantined;
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "resumed",
+            &[
+                ("record", obs::Value::U64(cp.records_scored)),
+                ("skipped", obs::Value::U64(cp.skipped)),
+                ("quarantined", obs::Value::U64(cp.quarantined)),
+            ],
+        );
+    }
     match parsed.opt::<f64>("drift-alpha", "number") {
         Ok(Some(alpha)) => {
             if let Err(e) = scorer.set_drift_alpha(alpha) {
@@ -129,16 +277,100 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
         Err(e) => return super::usage_err(e, HELP),
     }
 
+    // The quarantine file opens up front so a bad path fails fast, before
+    // any record is consumed, and appends so restarts accumulate.
+    let mut quarantine_file = match &policy {
+        ErrorPolicy::Quarantine(path) => match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                return (
+                    exit::RUNTIME,
+                    format!("cannot open quarantine file {path}: {e}"),
+                )
+            }
+        },
+        _ => None,
+    };
+
+    let registry = obs::registry();
+    let skipped_ctr = registry.counter("hdoutlier.stream.skipped");
+    let quarantined_ctr = registry.counter("hdoutlier.stream.quarantined");
+    let checkpoints_ctr = registry.counter("hdoutlier.stream.checkpoints");
+
     let n_dims = scorer.model().grid().n_dims();
     let missing = hdoutlier_data::csv::CsvOptions::default().missing_markers;
     let outliers_only = parsed.has("outliers-only");
     let mut skip_header = !parsed.has("no-header");
     let mut line_no = 0usize;
-    for line in input.lines() {
+    let mut consecutive_errors = 0u64;
+
+    // One closure owns the skip/quarantine/abort decision so the three
+    // failure points (read, parse, score) behave identically.
+    macro_rules! bad_record {
+        ($reason:expr, $raw:expr) => {{
+            let reason: String = $reason;
+            let raw: Option<&str> = $raw;
+            consecutive_errors += 1;
+            if matches!(policy, ErrorPolicy::Abort) {
+                return (exit::RUNTIME, format!("line {line_no}: {reason}"));
+            }
+            if consecutive_errors > max_consecutive {
+                return (
+                    exit::RUNTIME,
+                    format!(
+                        "line {line_no}: {reason} ({consecutive_errors} consecutive bad \
+                         records exceed --max-consecutive-errors {max_consecutive}; aborting)"
+                    ),
+                );
+            }
+            obs::event(
+                obs::Level::Warn,
+                TARGET,
+                "record_error",
+                &[
+                    ("line", obs::Value::U64(line_no as u64)),
+                    ("action", obs::Value::Str(policy.action())),
+                ],
+            );
+            if let ErrorPolicy::Quarantine(path) = &policy {
+                if let Some(raw) = raw {
+                    let file = quarantine_file.as_mut().expect("opened above");
+                    if let Err(e) = writeln!(file, "{raw}") {
+                        return (
+                            exit::RUNTIME,
+                            format!("failed to quarantine line {line_no} to {path}: {e}"),
+                        );
+                    }
+                }
+                quarantined_ctr.inc();
+                quarantined_total += 1;
+            } else {
+                skipped_ctr.inc();
+                skipped_total += 1;
+            }
+            let verdict = match error_json(line_no, &reason, policy.action()) {
+                Ok(j) => j.render(),
+                Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+            };
+            match emit_line(sink, &verdict) {
+                Ok(true) => continue,
+                Ok(false) => break, // consumer hung up
+                Err(e) => return (exit::RUNTIME, e),
+            }
+        }};
+    }
+
+    let mut lines = input.lines();
+    loop {
         line_no += 1;
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => return (exit::RUNTIME, format!("stdin read failed: {e}")),
+        let line = match lines.next() {
+            None => break,
+            Some(Ok(l)) => l,
+            Some(Err(e)) => bad_record!(format!("stdin read failed: {e}"), None),
         };
         if line.trim().is_empty() {
             continue;
@@ -149,38 +381,63 @@ fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write) ->
         }
         let row = match parse_row(&line, delimiter, &missing, n_dims) {
             Ok(r) => r,
-            Err(msg) => return (exit::RUNTIME, format!("line {line_no}: {msg}")),
+            Err(msg) => bad_record!(msg, Some(&line)),
         };
         let verdict = {
             let _span = obs::span(obs::Level::Trace, "hdoutlier.cli", "score_record");
             match scorer.score_record(&row) {
                 Ok(v) => v,
-                Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
+                Err(e) => bad_record!(e.to_string(), Some(&line)),
             }
         };
-        if outliers_only && !verdict.outlier && verdict.drift.is_none() {
-            continue;
-        }
-        let rendered = match verdict_json(&verdict, &scorer) {
-            Ok(j) => j.render(),
-            Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
-        };
-        if let Err(e) = writeln!(sink, "{rendered}").and_then(|()| sink.flush()) {
-            // Downstream closing the pipe (`| head`) is a normal way for a
-            // stream consumer to stop; anything else is a real failure.
-            return if e.kind() == std::io::ErrorKind::BrokenPipe {
-                match session.finish() {
-                    Ok(()) => (exit::OK, String::new()),
-                    Err(e) => (exit::RUNTIME, e),
-                }
-            } else {
-                (exit::RUNTIME, format!("stdout write failed: {e}"))
+        consecutive_errors = 0;
+        if !(outliers_only && !verdict.outlier && verdict.drift.is_none()) {
+            let rendered = match verdict_json(&verdict, &scorer) {
+                Ok(j) => j.render(),
+                Err(e) => return (exit::RUNTIME, format!("line {line_no}: {e}")),
             };
+            match emit_line(sink, &rendered) {
+                Ok(true) => {}
+                Ok(false) => break, // consumer hung up
+                Err(e) => return (exit::RUNTIME, e),
+            }
+        }
+        if let Some(path) = &checkpoint_path {
+            if scorer.records_scored() % checkpoint_every == 0 {
+                let cp = Checkpoint::capture(&scorer, skipped_total, quarantined_total);
+                if let Err(e) = cp.save_atomic(path) {
+                    return (
+                        exit::RUNTIME,
+                        format!("failed to checkpoint to {}: {e}", path.display()),
+                    );
+                }
+                checkpoints_ctr.inc();
+            }
         }
     }
-    match session.finish() {
-        Ok(()) => (exit::OK, String::new()),
-        Err(e) => (exit::RUNTIME, e),
+    // A final checkpoint at EOF (or consumer hang-up) so a clean restart
+    // resumes from the last record, not the last cadence boundary.
+    if let Some(path) = &checkpoint_path {
+        let cp = Checkpoint::capture(&scorer, skipped_total, quarantined_total);
+        if let Err(e) = cp.save_atomic(path) {
+            return (
+                exit::RUNTIME,
+                format!("failed to checkpoint to {}: {e}", path.display()),
+            );
+        }
+        checkpoints_ctr.inc();
+    }
+    (exit::OK, String::new())
+}
+
+/// Writes one NDJSON line, flushed immediately. `Ok(false)` means the
+/// consumer closed the pipe (`| head`) — a normal way to stop, not an
+/// error.
+fn emit_line(sink: &mut impl Write, rendered: &str) -> Result<bool, String> {
+    match writeln!(sink, "{rendered}").and_then(|()| sink.flush()) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+        Err(e) => Err(format!("stdout write failed: {e}")),
     }
 }
 
@@ -215,6 +472,15 @@ fn parse_row(
             }
         })
         .collect()
+}
+
+/// One NDJSON error verdict — what skip/quarantine emit in place of a
+/// scoring verdict so downstream consumers see the gap in-band.
+fn error_json(line_no: usize, reason: &str, action: &str) -> Result<Json, JsonError> {
+    Json::object()
+        .field("line", line_no)
+        .field("error", reason)
+        .field("action", action)
 }
 
 /// One NDJSON verdict line.
@@ -266,7 +532,7 @@ mod tests {
     fn trained(name: &str) -> (String, std::path::PathBuf, Vec<usize>) {
         let (csv, planted_rows) = planted_csv(name);
         let model_path = csv.with_extension("model.json");
-        let (code, out) = crate::commands::detect::run(&argv(&[
+        let (code, out) = crate::commands::detect::run_captured(&argv(&[
             "--phi=4",
             "--k=2",
             "--m=6",
@@ -439,6 +705,28 @@ mod tests {
     }
 
     #[test]
+    fn metrics_out_is_flushed_on_error_exits_too() {
+        let (_, model_path, _) = trained("stream-metrics-err");
+        let metrics_path = model_path.with_extension("err-metrics.ndjson");
+        let _ = std::fs::remove_file(&metrics_path);
+        // Default abort policy dies on the malformed line...
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--no-header",
+                "--metrics-out",
+                metrics_path.to_str().unwrap(),
+            ]),
+            "1,2,3\n".as_bytes(),
+        );
+        assert_eq!(code, exit::RUNTIME, "{out}");
+        // ...but the snapshot is still written.
+        let snapshot = std::fs::read_to_string(&metrics_path).expect("snapshot flushed");
+        assert!(snapshot.contains("hdoutlier.stream.records"), "{snapshot}");
+    }
+
+    #[test]
     fn missing_values_and_no_header_are_handled() {
         let (_, model_path, _) = trained("stream-missing");
         // Two headerless records with missing markers in several columns.
@@ -449,6 +737,77 @@ mod tests {
         );
         assert_eq!(code, exit::OK, "{out}");
         assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn skip_policy_keeps_scoring_past_bad_lines() {
+        let (_, model_path, _) = trained("stream-skip");
+        let input = "1,2,3\n0,0,0,0,0,0\n1,2,3,4,5,banana\n1,1,1,1,1,1\n";
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--no-header",
+                "--on-error",
+                "skip",
+            ]),
+            input.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Bad lines 1 and 3 become error verdicts; good records keep a
+        // contiguous index.
+        let j = Json::parse(lines[0]).unwrap();
+        assert_eq!(j.get("line").and_then(Json::as_number), Some(1.0));
+        assert_eq!(j.get("action").and_then(Json::as_str), Some("skip"));
+        assert!(j.get("error").is_some());
+        assert!(lines[1].contains("\"record\":0"), "{}", lines[1]);
+        assert!(lines[2].contains("\"action\":\"skip\""), "{}", lines[2]);
+        assert!(lines[2].contains("banana"), "{}", lines[2]);
+        assert!(lines[3].contains("\"record\":1"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn circuit_breaker_halts_runaway_garbage() {
+        let (_, model_path, _) = trained("stream-breaker");
+        let garbage = "x\n".repeat(10);
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--no-header",
+                "--on-error",
+                "skip",
+                "--max-consecutive-errors",
+                "3",
+            ]),
+            garbage.as_bytes(),
+        );
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("consecutive"), "{out}");
+        // 3 error verdicts got out before the 4th tripped the breaker.
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with('{')).count(),
+            3,
+            "{out}"
+        );
+        // A good record in between resets the count.
+        let mixed = "x\nx\nx\n0,0,0,0,0,0\nx\nx\nx\n";
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--no-header",
+                "--on-error",
+                "skip",
+                "--max-consecutive-errors",
+                "3",
+            ]),
+            mixed.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{out}");
+        assert_eq!(out.lines().count(), 7);
     }
 
     #[test]
@@ -494,5 +853,104 @@ mod tests {
         );
         assert_eq!(code, exit::USAGE);
         assert!(out.contains("alpha"), "{out}");
+        // Bad fault-tolerance flags.
+        for bad in [
+            vec!["--model", "m.json", "--on-error", "explode"],
+            vec!["--model", "m.json", "--on-error", "quarantine:"],
+            vec!["--model", "m.json", "--max-consecutive-errors", "0"],
+            vec!["--model", "m.json", "--checkpoint-every", "50"],
+            vec![
+                "--model",
+                "m.json",
+                "--checkpoint",
+                "c.json",
+                "--checkpoint-every",
+                "0",
+            ],
+        ] {
+            let (code, out) = super::run_with_input(&argv(&bad), "".as_bytes());
+            assert_eq!(code, exit::USAGE, "{bad:?}: {out}");
+        }
+        // Resume from a missing checkpoint is a runtime error.
+        let (code, out) = super::run_with_input(
+            &argv(&[
+                "--model",
+                model_path.to_str().unwrap(),
+                "--resume",
+                "/nope/missing.ckpt",
+            ]),
+            "".as_bytes(),
+        );
+        assert_eq!(code, exit::RUNTIME);
+        assert!(out.contains("cannot resume"), "{out}");
+    }
+
+    // ---- parse_row edge cases ------------------------------------------
+
+    fn markers() -> Vec<String> {
+        hdoutlier_data::csv::CsvOptions::default().missing_markers
+    }
+
+    #[test]
+    fn parse_row_missing_markers_tolerate_surrounding_whitespace() {
+        let row = super::parse_row(" ? , NA ,  NaN , 1.5", ',', &markers(), 4).unwrap();
+        assert!(row[0].is_nan());
+        assert!(row[1].is_nan());
+        assert!(row[2].is_nan());
+        assert_eq!(row[3], 1.5);
+        // An entirely blank field is the empty-string marker after trimming.
+        let row = super::parse_row("1,   ,3", ',', &markers(), 3).unwrap();
+        assert!(row[1].is_nan());
+    }
+
+    #[test]
+    fn parse_row_wrong_delimiter_is_a_field_count_error() {
+        // Semicolon data split on commas collapses into one un-parseable
+        // field — report the count mismatch, not a panic.
+        let err = super::parse_row("1;2;3", ',', &markers(), 3).unwrap_err();
+        assert!(err.contains("expected 3 fields"), "{err}");
+        // The right delimiter parses.
+        let row = super::parse_row("1;2;3", ';', &markers(), 3).unwrap();
+        assert_eq!(row, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parse_row_field_count_mismatches() {
+        let err = super::parse_row("1,2", ',', &markers(), 3).unwrap_err();
+        assert!(err.contains("expected 3 fields"), "{err}");
+        assert!(err.contains("got 2"), "{err}");
+        let err = super::parse_row("1,2,3,4", ',', &markers(), 3).unwrap_err();
+        assert!(err.contains("got 4"), "{err}");
+    }
+
+    #[test]
+    fn parse_row_quoted_fields_and_utf8() {
+        // Quoted numeric fields parse; quoted text (UTF-8 included) is a
+        // per-field error naming the offending content.
+        let row = super::parse_row("\"1.5\",2", ',', &markers(), 2).unwrap();
+        assert_eq!(row, vec![1.5, 2.0]);
+        let err = super::parse_row("\"héllo, wörld\",2", ',', &markers(), 2).unwrap_err();
+        assert!(err.contains("héllo, wörld"), "{err}");
+        // A quoted missing marker still reads as missing.
+        let row = super::parse_row("\"?\",2", ',', &markers(), 2).unwrap();
+        assert!(row[0].is_nan());
+        // An unterminated quote is malformed CSV, not a panic.
+        let err = super::parse_row("\"1,2", ',', &markers(), 2).unwrap_err();
+        assert!(err.contains("malformed CSV"), "{err}");
+    }
+
+    #[test]
+    fn parse_row_inf_and_nan_literals() {
+        // Rust's f64 parser accepts inf/-inf/infinity case-insensitively;
+        // they flow through as infinities (the grid clamps them to the
+        // outermost ranges), while NaN spellings hit the missing-marker
+        // list first and become missing.
+        let row = super::parse_row("inf,-inf,Infinity", ',', &markers(), 3).unwrap();
+        assert_eq!(row[0], f64::INFINITY);
+        assert_eq!(row[1], f64::NEG_INFINITY);
+        assert_eq!(row[2], f64::INFINITY);
+        let row = super::parse_row("NaN,nan", ',', &markers(), 2).unwrap();
+        assert!(row[0].is_nan()); // marker
+        assert!(row[1].is_nan()); // f64 parse of "nan"
     }
 }

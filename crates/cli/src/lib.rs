@@ -7,9 +7,10 @@
 //! - [`args`]: a small, dependency-free command-line parser (flags with
 //!   values, `--flag=value` and `--flag value` forms, positional arguments,
 //!   typed getters with error messages);
-//! - [`json`]: a minimal JSON value with writer and parser (the workspace
-//!   builds hermetically with no external dependencies; reports and model
-//!   files are simple enough that escaping + nesting is all that is needed);
+//! - [`json`]: re-export of the workspace `hdoutlier-json` crate — a minimal
+//!   JSON value with writer and parser (the workspace builds hermetically
+//!   with no external dependencies; reports, model files, and checkpoints
+//!   are simple enough that escaping + nesting is all that is needed);
 //! - [`commands`]: the `detect`, `score`, `stream`, `explain`, `advise` and
 //!   `baseline` subcommands, returning their output as a string so tests
 //!   can assert on it;
@@ -52,21 +53,50 @@ Run `hdoutlier <COMMAND> --help` for per-command options.
 ";
 
 /// Dispatches a full argument vector (without argv\[0\]); returns
-/// `(exit_code, output)`. Errors are rendered into the output so the binary
-/// stays a one-liner and tests can assert on messages.
+/// `(exit_code, output)`. Reports and errors are rendered into the output
+/// so tests can assert on messages.
 pub fn run(argv: &[String]) -> (i32, String) {
+    let mut sink = Vec::new();
+    let (code, err) = run_to(argv, &mut sink);
+    let mut out = String::from_utf8(sink).expect("reports are valid UTF-8");
+    out.push_str(&err);
+    (code, out)
+}
+
+/// Dispatches with reports streamed to `sink`. The binary passes stdout, so
+/// a consumer closing the pipe early (`hdoutlier ... | head`) is handled
+/// gracefully mid-report instead of surfacing as a write failure. The
+/// returned string carries only help or error text.
+pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) {
     let Some(command) = argv.first() else {
         return (exit::USAGE, USAGE.to_string());
     };
     let rest = &argv[1..];
     match command.as_str() {
-        "detect" => commands::detect::run(rest),
-        "score" => commands::score::run(rest),
-        "stream" => commands::stream::run(rest),
-        "explain" => commands::explain::run(rest),
-        "advise" => commands::advise::run(rest),
-        "baseline" => commands::baseline::run(rest),
+        "detect" => commands::detect::run_to(rest, sink),
+        "score" => emit(commands::score::run(rest), sink),
+        "stream" => {
+            let stdin = std::io::stdin();
+            commands::stream::run_streaming(rest, stdin.lock(), sink)
+        }
+        "explain" => commands::explain::run_to(rest, sink),
+        "advise" => emit(commands::advise::run(rest), sink),
+        "baseline" => commands::baseline::run_to(rest, sink),
         "help" | "--help" | "-h" => (exit::OK, USAGE.to_string()),
         other => (exit::USAGE, format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Routes a fully rendered `(code, output)` result through the sink: success
+/// output is a report (written with graceful broken-pipe handling), anything
+/// else is help/error text for the caller to place.
+fn emit(result: (i32, String), sink: &mut impl std::io::Write) -> (i32, String) {
+    let (code, out) = result;
+    if code != exit::OK {
+        return (code, out);
+    }
+    match commands::emit_report(sink, &out) {
+        Ok(()) => (exit::OK, String::new()),
+        Err(e) => (exit::RUNTIME, e),
     }
 }

@@ -5,9 +5,10 @@ use std::io::Write;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (code, output) = hdoutlier_cli::run(&argv);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let (code, output) = hdoutlier_cli::run_to(&argv, &mut out);
     let result = if code == hdoutlier_cli::exit::OK {
-        let mut out = std::io::stdout();
         out.write_all(output.as_bytes()).and_then(|()| out.flush())
     } else {
         let mut err = std::io::stderr();

@@ -124,6 +124,47 @@ impl DriftMonitor {
         Ok(())
     }
 
+    /// Raw range occupancy, flattened `dim * phi + range` — the state a
+    /// [`crate::checkpoint::Checkpoint`] persists.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Non-missing observations per dimension (checkpoint state).
+    pub fn totals(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Replaces the accumulated occupancy wholesale — the resume half of a
+    /// checkpoint round trip.
+    ///
+    /// # Errors
+    /// [`DataError::ShapeMismatch`] when the vectors do not match this
+    /// monitor's `n_dims * phi` / `n_dims` layout.
+    pub fn restore(
+        &mut self,
+        counts: Vec<u64>,
+        totals: Vec<u64>,
+        records: u64,
+    ) -> Result<(), DataError> {
+        if counts.len() != self.counts.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: self.counts.len(),
+                actual: counts.len(),
+            });
+        }
+        if totals.len() != self.totals.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: self.totals.len(),
+                actual: totals.len(),
+            });
+        }
+        self.counts = counts;
+        self.totals = totals;
+        self.records = records;
+        Ok(())
+    }
+
     /// Clears all accumulated occupancy — call after re-fitting the model.
     pub fn reset(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);

@@ -18,13 +18,20 @@
 //! - [`OnlineScorer`] + [`DriftMonitor`]: a trained
 //!   [`hdoutlier_core::FittedModel`] applied record-by-record, with a
 //!   per-dimension occupancy χ² test against the trained grid that signals
-//!   when the boundaries have gone stale and a re-fit is warranted.
+//!   when the boundaries have gone stale and a re-fit is warranted;
+//! - [`Checkpoint`]: atomic (temp-file + rename) JSON persistence of the
+//!   scorer's state — record index, drift occupancy, outlier/skip totals —
+//!   guarded by a grid fingerprint, so a crashed or redeployed scorer
+//!   resumes where it left off instead of silently resetting drift
+//!   statistics.
 
+pub mod checkpoint;
 pub mod drift;
 pub mod scorer;
 pub mod sketch;
 pub mod window;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use drift::{DriftMonitor, DriftReport};
 pub use scorer::{OnlineScorer, Verdict};
 pub use sketch::{GkSketch, StreamingDiscretizer};

@@ -66,6 +66,7 @@ pub struct OnlineScorer {
     alpha: f64,
     check_every: u64,
     scored: u64,
+    outliers: u64,
     metrics: ScorerMetrics,
 }
 
@@ -88,6 +89,7 @@ impl OnlineScorer {
             alpha: Self::DEFAULT_ALPHA,
             check_every: Self::DEFAULT_CHECK_EVERY,
             scored: 0,
+            outliers: 0,
             metrics: ScorerMetrics::resolve(),
         })
     }
@@ -131,6 +133,40 @@ impl OnlineScorer {
     /// Records scored so far.
     pub fn records_scored(&self) -> u64 {
         self.scored
+    }
+
+    /// Records flagged as outliers so far.
+    pub fn outliers_flagged(&self) -> u64 {
+        self.outliers
+    }
+
+    /// The configured drift-check significance level.
+    pub fn drift_alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The configured drift-check cadence.
+    pub fn check_every(&self) -> u64 {
+        self.check_every
+    }
+
+    /// Overwrites the scored/outlier totals and drift occupancy — the
+    /// resume half of a [`crate::checkpoint::Checkpoint`] round trip.
+    /// Callers go through [`crate::checkpoint::Checkpoint::restore`], which
+    /// also validates the grid fingerprint.
+    pub(crate) fn restore_state(
+        &mut self,
+        scored: u64,
+        outliers: u64,
+        drift_counts: Vec<u64>,
+        drift_totals: Vec<u64>,
+        drift_records: u64,
+    ) -> Result<(), DataError> {
+        self.monitor
+            .restore(drift_counts, drift_totals, drift_records)?;
+        self.scored = scored;
+        self.outliers = outliers;
+        Ok(())
     }
 
     /// Clears drift state (e.g. after swapping in a re-fitted model).
@@ -189,6 +225,7 @@ impl OnlineScorer {
         };
         self.metrics.records.inc();
         if !matched.is_empty() {
+            self.outliers += 1;
             self.metrics.outliers.inc();
         }
         if let Some(start) = start {

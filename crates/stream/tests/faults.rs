@@ -1,0 +1,204 @@
+//! Fault-injection tests for checkpoint durability: a process killed at any
+//! point of the save protocol must leave a loadable checkpoint behind, and
+//! corrupted files must be rejected loudly rather than restored quietly.
+
+use hdoutlier_core::{FittedModel, OutlierDetector, SearchMethod};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_stream::checkpoint::{grid_fingerprint, staging_path};
+use hdoutlier_stream::{Checkpoint, CheckpointError, OnlineScorer};
+use std::path::PathBuf;
+
+fn fitted(seed: u64) -> (FittedModel, hdoutlier_data::Dataset) {
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 800,
+        n_dims: 5,
+        n_outliers: 3,
+        strong_groups: Some(2),
+        seed,
+        ..PlantedConfig::default()
+    });
+    let model = OutlierDetector::builder()
+        .phi(4)
+        .k(2)
+        .m(5)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&planted.dataset)
+        .unwrap();
+    (model, planted.dataset)
+}
+
+fn scorer_at(model: &FittedModel, ds: &hdoutlier_data::Dataset, upto: usize) -> OnlineScorer {
+    let mut scorer = OnlineScorer::new(model.clone()).unwrap();
+    for i in 0..upto {
+        scorer.score_record(ds.row(i)).unwrap();
+    }
+    scorer
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hdoutlier-stream-faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The kill window: the process dies after writing the staging file but
+/// before the rename. The destination must still hold the previous
+/// checkpoint, and the next save must recover.
+#[test]
+fn kill_between_staging_write_and_rename_preserves_previous_checkpoint() {
+    let (model, ds) = fitted(41);
+    let path = temp_path("kill-window.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    let cp1 = Checkpoint::capture(&scorer_at(&model, &ds, 100), 0, 0);
+    cp1.save_atomic(&path).unwrap();
+
+    // Simulate a kill mid-way through the *next* save: a torn staging file
+    // exists, the rename never happened.
+    let cp2 = Checkpoint::capture(&scorer_at(&model, &ds, 200), 5, 0);
+    let torn = &cp2.to_json().unwrap().render()[..40];
+    std::fs::write(staging_path(&path), torn).unwrap();
+
+    // Resume after the crash: the destination still loads as cp1.
+    let loaded = Checkpoint::load(&path).unwrap();
+    assert_eq!(loaded, cp1);
+    assert_eq!(loaded.records_scored, 100);
+
+    // The recovering process checkpoints again: the stale staging file is
+    // overwritten, the rename lands, and cp2 becomes the durable state.
+    cp2.save_atomic(&path).unwrap();
+    assert!(!staging_path(&path).exists());
+    assert_eq!(Checkpoint::load(&path).unwrap(), cp2);
+}
+
+/// A kill during the very first save: no destination yet, only a torn
+/// staging file. Loading fails as Io (file not found), not a panic, and the
+/// torn staging file is never picked up.
+#[test]
+fn kill_during_first_save_leaves_no_checkpoint_not_a_torn_one() {
+    let (model, ds) = fitted(43);
+    let path = temp_path("first-save.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(staging_path(&path));
+
+    let cp = Checkpoint::capture(&scorer_at(&model, &ds, 50), 0, 0);
+    std::fs::write(staging_path(&path), &cp.to_json().unwrap().render()[..25]).unwrap();
+
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+}
+
+/// Corruption on disk (bit rot, manual edits, torn writes on non-atomic
+/// filesystems) is rejected with a parse/schema error, never silently
+/// restored.
+#[test]
+fn corrupted_checkpoints_are_rejected_not_restored() {
+    let (model, ds) = fitted(47);
+    let path = temp_path("corrupt.ckpt.json");
+    let cp = Checkpoint::capture(&scorer_at(&model, &ds, 150), 0, 0);
+    cp.save_atomic(&path).unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+
+    // Truncation (torn write) → JSON error.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path).unwrap_err(),
+        CheckpointError::Json(_)
+    ));
+
+    // Valid JSON, wrong shape → schema error.
+    std::fs::write(&path, "{\"format\": 1}").unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path).unwrap_err(),
+        CheckpointError::Schema(_)
+    ));
+
+    // Flipped drift count (negative) → schema error, not a bogus resume.
+    std::fs::write(
+        &path,
+        good.replace("\"records_scored\": 150", "\"records_scored\": -150"),
+    )
+    .unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path).unwrap_err(),
+        CheckpointError::Schema(_)
+    ));
+}
+
+/// A checkpoint from one model must not restore into a scorer wrapping a
+/// grid with even a single boundary changed.
+#[test]
+fn single_boundary_difference_changes_the_fingerprint() {
+    let (model, ds) = fitted(53);
+    let fp = grid_fingerprint(&model);
+
+    // Re-fit on a one-row-shorter dataset: same shape, slightly different
+    // equi-depth boundaries.
+    let shorter = hdoutlier_data::Dataset::from_rows(
+        (0..ds.n_rows() - 1).map(|i| ds.row(i).to_vec()).collect(),
+    )
+    .unwrap();
+    let other = OutlierDetector::builder()
+        .phi(4)
+        .k(2)
+        .m(5)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&shorter)
+        .unwrap();
+    assert_ne!(fp, grid_fingerprint(&other));
+
+    let cp = Checkpoint::capture(&scorer_at(&model, &ds, 60), 0, 0);
+    let mut scorer = OnlineScorer::new(other).unwrap();
+    let err = cp.restore(&mut scorer).unwrap_err();
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    // The failed restore left the scorer untouched.
+    assert_eq!(scorer.records_scored(), 0);
+}
+
+/// End-to-end interrupted run at the crate level: kill after a checkpoint,
+/// resume in a new scorer, and the tail of the stream must reproduce the
+/// uninterrupted run's verdicts and drift reports exactly.
+#[test]
+fn resume_after_kill_reproduces_uninterrupted_verdicts() {
+    let (model, ds) = fitted(59);
+    let path = temp_path("resume.ckpt.json");
+
+    let mut reference = OnlineScorer::new(model.clone()).unwrap();
+    reference.set_check_every(64).unwrap();
+    let reference_verdicts: Vec<_> = (0..400)
+        .map(|i| reference.score_record(ds.row(i)).unwrap())
+        .collect();
+
+    // First process: 250 records, checkpoint, "kill" (drop).
+    let mut first = OnlineScorer::new(model.clone()).unwrap();
+    first.set_check_every(64).unwrap();
+    for i in 0..250 {
+        first.score_record(ds.row(i)).unwrap();
+    }
+    Checkpoint::capture(&first, 0, 0)
+        .save_atomic(&path)
+        .unwrap();
+    drop(first);
+
+    // Second process: restore and run the tail.
+    let mut resumed = OnlineScorer::new(model).unwrap();
+    Checkpoint::load(&path)
+        .unwrap()
+        .restore(&mut resumed)
+        .unwrap();
+    assert_eq!(resumed.check_every(), 64); // cadence travels with the state
+    for (i, reference) in reference_verdicts.iter().enumerate().skip(250) {
+        let v = resumed.score_record(ds.row(i)).unwrap();
+        assert_eq!(v.index, reference.index);
+        assert_eq!(v.outlier, reference.outlier);
+        assert_eq!(v.score, reference.score);
+        assert_eq!(v.drift.is_some(), reference.drift.is_some(), "record {i}");
+        if let (Some(a), Some(b)) = (&v.drift, &reference.drift) {
+            assert_eq!(a.statistics, b.statistics);
+            assert_eq!(a.p_values, b.p_values);
+            assert_eq!(a.drifted_dims, b.drifted_dims);
+        }
+    }
+}
