@@ -20,6 +20,12 @@ cargo test -q --offline -p hdoutlier-cli --test smoke
 # trace-event JSON (crates/cli/tests/live.rs).
 cargo test -q --offline -p hdoutlier-cli --test live
 
+# Determinism: every pooled path (detect brute + seeded evolutionary,
+# explain, baseline) must emit byte-identical --json reports at --threads
+# 1/2/8 (crates/cli/tests/determinism.rs); the stream --batch equivalence
+# lives in the stream command's unit tests, covered by the workspace run.
+cargo test -q --offline -p hdoutlier-cli --test determinism
+
 # Fault tolerance: checkpoint atomicity under simulated kills
 # (crates/stream/tests/faults.rs) and the scripted-I/O harness driving the
 # stream error policies, circuit breaker, and kill/resume equivalence

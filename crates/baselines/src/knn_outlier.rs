@@ -9,7 +9,6 @@
 //! the paper notes "worsened slightly").
 
 use crate::distance::Metric;
-use crate::nn::kth_nn_distances;
 use crate::BaselineError;
 use hdoutlier_data::Dataset;
 
@@ -40,7 +39,20 @@ pub fn ramaswamy_top_n(
     n: usize,
     metric: Metric,
 ) -> Result<Vec<DistanceOutlier>, BaselineError> {
-    let scores = kth_nn_distances(dataset, k, metric)?;
+    ramaswamy_top_n_threaded(dataset, k, n, metric, 1)
+}
+
+/// [`ramaswamy_top_n`] with the per-row k-th-NN scans fanned out over pool
+/// workers. Identical output at any thread count: scores come back in row
+/// order and the final sort is total (score, then row).
+pub fn ramaswamy_top_n_threaded(
+    dataset: &Dataset,
+    k: usize,
+    n: usize,
+    metric: Metric,
+    threads: usize,
+) -> Result<Vec<DistanceOutlier>, BaselineError> {
+    let scores = crate::nn::kth_nn_distances_threaded(dataset, k, metric, threads)?;
     let mut ranked: Vec<DistanceOutlier> = scores
         .into_iter()
         .enumerate()
@@ -101,6 +113,18 @@ mod tests {
         let ds = cluster_with_far_point();
         assert!(ramaswamy_top_n(&ds, 0, 3, Metric::Euclidean).is_err());
         assert!(ramaswamy_top_n(&ds, 21, 3, Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn threaded_ranking_is_identical_to_serial() {
+        let ds = cluster_with_far_point();
+        let serial = ramaswamy_top_n(&ds, 2, 10, Metric::Euclidean).unwrap();
+        for threads in [2, 4, 8] {
+            let got = ramaswamy_top_n_threaded(&ds, 2, 10, Metric::Euclidean, threads).unwrap();
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+        // Errors propagate through the threaded path too.
+        assert!(ramaswamy_top_n_threaded(&ds, 0, 3, Metric::Euclidean, 4).is_err());
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub mod nn;
 
 pub use distance::Metric;
 pub use intensional::{intensional_outliers, IntensionalConfig};
-pub use knn_outlier::ramaswamy_top_n;
+pub use knn_outlier::{ramaswamy_top_n, ramaswamy_top_n_threaded};
 pub use knorr_ng::{knorr_ng_outliers, suggest_lambda};
-pub use lof::lof_scores;
+pub use lof::{lof_scores, lof_scores_threaded};
 
 use std::fmt;
 

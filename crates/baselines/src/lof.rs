@@ -18,6 +18,19 @@ pub fn lof_scores(
     min_pts: usize,
     metric: Metric,
 ) -> Result<Vec<f64>, BaselineError> {
+    lof_scores_threaded(dataset, min_pts, metric, 1)
+}
+
+/// [`lof_scores`] with the `O(n²·d)` neighbor scans fanned out over pool
+/// workers. The lrd and LOF passes stay serial (they are `O(n·k)`); the
+/// neighbor sets come back in row order, so the scores are bit-identical at
+/// any thread count.
+pub fn lof_scores_threaded(
+    dataset: &Dataset,
+    min_pts: usize,
+    metric: Metric,
+    threads: usize,
+) -> Result<Vec<f64>, BaselineError> {
     crate::ensure_complete(dataset)?;
     let n = dataset.n_rows();
     if min_pts == 0 {
@@ -30,9 +43,16 @@ pub fn lof_scores(
     }
 
     // k-NN sets and k-distances.
-    let neighbors: Vec<Vec<crate::nn::Neighbor>> = (0..n)
-        .map(|row| knn_brute(dataset, row, min_pts, metric))
-        .collect();
+    let neighbors: Vec<Vec<crate::nn::Neighbor>> = if threads > 1 {
+        let rows: Vec<usize> = (0..n).collect();
+        hdoutlier_pool::map(threads, &rows, |_, &row| {
+            knn_brute(dataset, row, min_pts, metric)
+        })
+    } else {
+        (0..n)
+            .map(|row| knn_brute(dataset, row, min_pts, metric))
+            .collect()
+    };
     let k_distance: Vec<f64> = neighbors
         .iter()
         .map(|nn| nn.last().expect("min_pts >= 1, n > min_pts").distance)
@@ -82,7 +102,19 @@ pub fn lof_top_n(
     n: usize,
     metric: Metric,
 ) -> Result<Vec<(usize, f64)>, BaselineError> {
-    let scores = lof_scores(dataset, min_pts, metric)?;
+    lof_top_n_threaded(dataset, min_pts, n, metric, 1)
+}
+
+/// [`lof_top_n`] over [`lof_scores_threaded`]; same ranking at any thread
+/// count.
+pub fn lof_top_n_threaded(
+    dataset: &Dataset,
+    min_pts: usize,
+    n: usize,
+    metric: Metric,
+    threads: usize,
+) -> Result<Vec<(usize, f64)>, BaselineError> {
+    let scores = lof_scores_threaded(dataset, min_pts, metric, threads)?;
     let mut ranked: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
     ranked.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -179,6 +211,28 @@ mod tests {
         let scores = lof_scores(&ds, 10, Metric::Euclidean).unwrap();
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         assert!((0.9..1.3).contains(&mean), "mean LOF {mean}");
+    }
+
+    #[test]
+    fn threaded_scores_are_bit_identical_to_serial() {
+        let ds = uniform(200, 3, 5);
+        let serial: Vec<u64> = lof_scores(&ds, 5, Metric::Euclidean)
+            .unwrap()
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        for threads in [2, 4, 8] {
+            let got: Vec<u64> = lof_scores_threaded(&ds, 5, Metric::Euclidean, threads)
+                .unwrap()
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+        assert_eq!(
+            lof_top_n_threaded(&ds, 5, 7, Metric::Euclidean, 4).unwrap(),
+            lof_top_n(&ds, 5, 7, Metric::Euclidean).unwrap()
+        );
     }
 
     #[test]

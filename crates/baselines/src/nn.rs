@@ -70,6 +70,18 @@ pub fn kth_nn_distances(
     k: usize,
     metric: Metric,
 ) -> Result<Vec<f64>, BaselineError> {
+    kth_nn_distances_threaded(dataset, k, metric, 1)
+}
+
+/// [`kth_nn_distances`] fanned out over pool workers. Each row's score is an
+/// independent scan, and the pool's ordered reduction keeps the output in
+/// row order, so the result is bit-identical at any thread count.
+pub fn kth_nn_distances_threaded(
+    dataset: &Dataset,
+    k: usize,
+    metric: Metric,
+    threads: usize,
+) -> Result<Vec<f64>, BaselineError> {
     crate::ensure_complete(dataset)?;
     if k == 0 {
         return Err(BaselineError::BadParams("k must be >= 1".into()));
@@ -80,14 +92,18 @@ pub fn kth_nn_distances(
             dataset.n_rows()
         )));
     }
-    Ok((0..dataset.n_rows())
-        .map(|row| {
-            knn_brute(dataset, row, k, metric)
-                .last()
-                .expect("k >= 1 and n > k")
-                .distance
-        })
-        .collect())
+    let kth = |row: usize| {
+        knn_brute(dataset, row, k, metric)
+            .last()
+            .expect("k >= 1 and n > k")
+            .distance
+    };
+    if threads > 1 {
+        let rows: Vec<usize> = (0..dataset.n_rows()).collect();
+        Ok(hdoutlier_pool::map(threads, &rows, |_, &row| kth(row)))
+    } else {
+        Ok((0..dataset.n_rows()).map(kth).collect())
+    }
 }
 
 /// A vantage-point tree over the rows of a dataset.

@@ -14,7 +14,7 @@
 use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_bench::{
     ablation, arrhythmia, figure1, housing, intensional_exp, params_exp, prescreen, scaling,
-    table1, table2,
+    table1, table2, threads_exp,
 };
 use hdoutlier_obs as obs;
 
@@ -38,6 +38,9 @@ fn main() {
     let seed: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
     obs::set_timing(bench_json.is_some());
     let start = std::time::Instant::now();
+    // Per-thread-count wall times from the `threads` experiment, recorded
+    // as extra stages in the bench datapoint.
+    let mut extra_stages: Vec<(String, u64, f64)> = Vec::new();
 
     match cmd {
         "table1" => run_table1(seed),
@@ -50,6 +53,7 @@ fn main() {
         "ablation" => run_ablation(seed),
         "prescreen" => run_prescreen(seed),
         "intensional" => run_intensional(seed),
+        "threads" => extra_stages = run_threads(seed),
         "all" => {
             run_table1(seed);
             run_table2();
@@ -61,28 +65,38 @@ fn main() {
             run_ablation(seed);
             run_prescreen(seed);
             run_intensional(seed);
+            extra_stages = run_threads(seed);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1|table2|arrhythmia|housing|figure1|params|scaling|ablation|prescreen|intensional|all> [seed] [--bench-json <path>]"
+                "usage: repro <table1|table2|arrhythmia|housing|figure1|params|scaling|ablation|prescreen|intensional|threads|all> [seed] [--bench-json <path>]"
             );
             std::process::exit(2);
         }
     }
 
     if let Some(path) = bench_json {
-        write_datapoint(&path, cmd, seed, start.elapsed());
+        write_datapoint(&path, cmd, seed, start.elapsed(), &extra_stages);
     }
 }
 
 /// One `BENCH_detect.json` trajectory datapoint: the command's wall time,
 /// with per-phase duration percentiles pulled from the detector's own
 /// histograms (populated by every `fit` the command ran).
-fn write_datapoint(path: &str, cmd: &str, seed: Option<u64>, elapsed: std::time::Duration) {
+fn write_datapoint(
+    path: &str,
+    cmd: &str,
+    seed: Option<u64>,
+    elapsed: std::time::Duration,
+    extra_stages: &[(String, u64, f64)],
+) {
     let mut report = BenchReport::new("detect");
     report.config("timing", 1.0);
     if let Some(seed) = seed {
         report.config("seed", seed as f64);
+    }
+    for (name, records, elapsed_s) in extra_stages {
+        report.stage(name, *records, *elapsed_s);
     }
     let mut fits = 0u64;
     for name in ["discretize", "index", "search", "postprocess"] {
@@ -193,6 +207,23 @@ fn run_prescreen(seed: Option<u64>) {
     }
     let outcome = prescreen::run(&config);
     println!("{}", prescreen::render(&outcome));
+}
+
+fn run_threads(seed: Option<u64>) -> Vec<(String, u64, f64)> {
+    heading("Pooled brute force: wall time and speedup per worker count");
+    let mut config = threads_exp::Config::default();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let rows = threads_exp::run(&config);
+    println!("{}", threads_exp::render(&rows));
+    println!(
+        "Best-m sets verified identical at every worker count. Speedup is \
+         bounded by the hardware threads actually available."
+    );
+    rows.iter()
+        .map(|r| (format!("threads-{}", r.threads), r.scored, r.elapsed_s))
+        .collect()
 }
 
 fn run_intensional(seed: Option<u64>) {

@@ -18,6 +18,7 @@
 //! | `ablation`   | DESIGN.md §5: grids, selection schemes, caching          |
 //! | `prescreen`  | §3.1's classifier pre-screening remark, quantified       |
 //! | `intensional`| §1's cost critique of the roll-up/drill-down method \[23\] |
+//! | `threads`    | pooled brute force at 1/2/4 workers: speedup + identity  |
 //! | `all`        | everything above, in order                               |
 //!
 //! The Criterion benches under `benches/` wrap scaled-down versions of the
@@ -35,3 +36,4 @@ pub mod scaling;
 pub mod table;
 pub mod table1;
 pub mod table2;
+pub mod threads_exp;

@@ -6,7 +6,7 @@ use crate::exit;
 use crate::json::{FieldChain, Json};
 use crate::obs_setup::{self, ObsSession};
 use hdoutlier_baselines::{
-    knorr_ng_outliers, lof::lof_top_n, ramaswamy_top_n, suggest_lambda, Metric,
+    knorr_ng_outliers, lof::lof_top_n_threaded, ramaswamy_top_n_threaded, suggest_lambda, Metric,
 };
 use hdoutlier_data::clean::impute_mean;
 
@@ -26,6 +26,8 @@ OPTIONS:
     --lambda <d>         distance threshold (knorr-ng; default: 5th-percentile
                          pairwise distance)
     --metric <name>      euclidean | manhattan | chebyshev (default euclidean)
+    --threads <n>        worker threads for the kNN/LOF scans (default:
+                         available cores; identical ranking at any count)
     --impute             mean-impute missing values first
     --label-column <c>   strip column <c> before computing distances
     --delimiter <c>      field separator (default ',')
@@ -65,6 +67,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
             "lambda",
             "depth",
             "metric",
+            "threads",
             "label-column",
             "delimiter",
         ],
@@ -97,6 +100,11 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
         Ok(t) => t,
         Err(e) => return usage_err(e, HELP),
     };
+    let threads: usize = match parsed.or("threads", "integer", hdoutlier_pool::default_threads()) {
+        Ok(t) if t >= 1 => t,
+        Ok(_) => return (exit::USAGE, format!("--threads must be >= 1\n\n{HELP}")),
+        Err(e) => return usage_err(e, HELP),
+    };
 
     let mut dataset = match load_dataset(&parsed, HELP) {
         Ok(d) => d,
@@ -114,7 +122,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
                 Ok(k) => k,
                 Err(e) => return usage_err(e, HELP),
             };
-            ramaswamy_top_n(&dataset, k, top, metric)
+            ramaswamy_top_n_threaded(&dataset, k, top, metric, threads)
                 .map(|v| v.into_iter().map(|o| (o.row, o.score)).collect())
                 .map_err(|e| e.to_string())
         }
@@ -123,7 +131,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
                 Ok(k) => k,
                 Err(e) => return usage_err(e, HELP),
             };
-            lof_top_n(&dataset, k, top, metric).map_err(|e| e.to_string())
+            lof_top_n_threaded(&dataset, k, top, metric, threads).map_err(|e| e.to_string())
         }
         "knorr-ng" | "knorrng" => {
             let k: usize = match parsed.or("k", "integer", 5) {

@@ -27,6 +27,8 @@ OPTIONS:
     --seed <n>           RNG seed for the evolutionary search (default 0)
     --generations <n>    GA generation cap (default 500)
     --population <n>     GA population size (default 100)
+    --threads <n>        worker threads for the search (default: available
+                         cores; the report is identical at any thread count)
     --save-model <path>  persist the fitted grid + projections as JSON
     --label-column <c>   strip column <c> (name, or index with --no-header)
     --delimiter <c>      field separator (default ',')
@@ -73,6 +75,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
             "seed",
             "generations",
             "population",
+            "threads",
             "label-column",
             "delimiter",
             "save-model",
@@ -104,6 +107,10 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
     let seed: u64 = flag!(or("seed", "integer", 0));
     let generations: usize = flag!(or("generations", "integer", 500));
     let population: usize = flag!(or("population", "integer", 100));
+    let threads: usize = flag!(or("threads", "integer", hdoutlier_pool::default_threads()));
+    if threads == 0 {
+        return (exit::USAGE, format!("--threads must be >= 1\n\n{HELP}"));
+    }
 
     let search = match parsed.get("search").unwrap_or("evolutionary") {
         "brute" | "brute-force" => SearchMethod::BruteForce,
@@ -148,7 +155,8 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
         .crossover(crossover)
         .strategy(strategy)
         .max_generations(generations)
-        .population(population);
+        .population(population)
+        .threads(threads);
     if let Some(phi) = phi {
         builder = builder.phi(phi);
     }

@@ -5,7 +5,7 @@ use super::{load_dataset, parse_or_usage, usage_err};
 use crate::exit;
 use crate::json::{FieldChain, Json};
 use crate::obs_setup::{self, ObsSession};
-use hdoutlier_core::drill::record_profile;
+use hdoutlier_core::drill::record_profile_threaded;
 use hdoutlier_core::params::advise;
 use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
 use hdoutlier_index::BitmapCounter;
@@ -22,6 +22,8 @@ OPTIONS:
     --phi <n>            grid ranges per dimension (default: auto)
     --k <list>           view dimensionalities, comma separated (default 1,2)
     --top <n>            views to print (default 10)
+    --threads <n>        worker threads for the view scoring (default:
+                         available cores; identical output at any count)
     --label-column <c>   strip column <c> first
     --delimiter <c>      field separator (default ',')
     --no-header          first row is data
@@ -53,7 +55,15 @@ pub fn run_captured(argv: &[String]) -> (i32, String) {
 /// only help or error text.
 pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) {
     let spec = obs_setup::spec_with(
-        &["row", "phi", "k", "top", "label-column", "delimiter"],
+        &[
+            "row",
+            "phi",
+            "k",
+            "top",
+            "threads",
+            "label-column",
+            "delimiter",
+        ],
         &["json", "no-header"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
@@ -70,6 +80,11 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
     };
     let top: usize = match parsed.or("top", "integer", 10) {
         Ok(t) => t,
+        Err(e) => return usage_err(e, HELP),
+    };
+    let threads: usize = match parsed.or("threads", "integer", hdoutlier_pool::default_threads()) {
+        Ok(t) if t >= 1 => t,
+        Ok(_) => return (exit::USAGE, format!("--threads must be >= 1\n\n{HELP}")),
         Err(e) => return usage_err(e, HELP),
     };
     let ks: Vec<usize> = match parsed.get("k") {
@@ -126,7 +141,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
             "hdoutlier.cli",
             "record_profile",
         );
-        record_profile(&counter, &disc, row, &ks)
+        record_profile_threaded(&counter, &disc, row, &ks, threads)
     };
 
     let rendered = if parsed.has("json") {

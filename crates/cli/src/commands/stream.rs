@@ -40,6 +40,13 @@ OPTIONS:
                          (error verdicts are still emitted)
     --drift-alpha <a>    drift-test significance level (default 0.01)
     --drift-every <n>    records between drift checks (default 512)
+    --batch <n>          score records in bounded batches of <n>, computing
+                         the model lookups on --threads pool workers; the
+                         verdicts (indices, scores, drift reports) are
+                         byte-identical to record-at-a-time scoring
+                         (default 1 = no batching)
+    --threads <n>        worker threads for --batch scoring (default:
+                         available cores)
     --on-error <p>       bad-record policy: abort | skip | quarantine:<path>
                          (default abort). skip/quarantine emit an NDJSON
                          error verdict (line number + reason) and keep
@@ -98,6 +105,8 @@ pub fn run_streaming(argv: &[String], input: impl BufRead, sink: &mut impl Write
             "delimiter",
             "drift-alpha",
             "drift-every",
+            "batch",
+            "threads",
             "on-error",
             "max-consecutive-errors",
             "checkpoint",
@@ -188,6 +197,16 @@ fn stream_under_session(
                 )
             }
         },
+    };
+    let batch: usize = match parsed.or("batch", "integer", 1) {
+        Ok(0) => return (exit::USAGE, format!("--batch must be >= 1\n\n{HELP}")),
+        Ok(b) => b,
+        Err(e) => return super::usage_err(e, HELP),
+    };
+    let threads: usize = match parsed.or("threads", "integer", hdoutlier_pool::default_threads()) {
+        Ok(0) => return (exit::USAGE, format!("--threads must be >= 1\n\n{HELP}")),
+        Ok(t) => t,
+        Err(e) => return super::usage_err(e, HELP),
     };
     let max_consecutive: u64 = match parsed.opt::<u64>("max-consecutive-errors", "integer") {
         Ok(Some(0)) => {
@@ -364,13 +383,139 @@ fn stream_under_session(
         }};
     }
 
+    // Parsed records waiting for a pooled `score_batch` call (only ever
+    // non-empty under `--batch <n>` with n > 1).
+    let mut pending: Vec<(usize, String, Vec<f64>)> = Vec::with_capacity(batch);
+
+    // Scores everything buffered in `pending` with one pooled call, then
+    // emits the verdicts in arrival order. Evaluates to `true` when the
+    // consumer hung up mid-emission. Must run before any error verdict or
+    // shutdown so output order matches the record-at-a-time path exactly.
+    macro_rules! flush_batch {
+        () => {{
+            let mut hung_up = false;
+            if !pending.is_empty() {
+                let rows: Vec<Vec<f64>> = pending.iter().map(|(_, _, r)| r.clone()).collect();
+                let results = {
+                    let _span = obs::span(obs::Level::Trace, "hdoutlier.cli", "score_batch");
+                    scorer.score_batch(&rows, threads)
+                };
+                for ((b_line, raw, _), result) in pending.drain(..).zip(results) {
+                    match result {
+                        Ok(verdict) => {
+                            consecutive_errors = 0;
+                            if !(outliers_only && !verdict.outlier && verdict.drift.is_none()) {
+                                let rendered = match verdict_json(&verdict, &scorer) {
+                                    Ok(j) => j.render(),
+                                    Err(e) => {
+                                        return (exit::RUNTIME, format!("line {b_line}: {e}"))
+                                    }
+                                };
+                                match emit_line(sink, &rendered) {
+                                    Ok(true) => {}
+                                    Ok(false) => {
+                                        hung_up = true;
+                                        break; // consumer hung up
+                                    }
+                                    Err(e) => return (exit::RUNTIME, e),
+                                }
+                            }
+                            if let Some(path) = &checkpoint_path {
+                                if scorer.records_scored() % checkpoint_every == 0 {
+                                    let cp = Checkpoint::capture(
+                                        &scorer,
+                                        skipped_total,
+                                        quarantined_total,
+                                    );
+                                    if let Err(e) = cp.save_atomic(path) {
+                                        return (
+                                            exit::RUNTIME,
+                                            format!(
+                                                "failed to checkpoint to {}: {e}",
+                                                path.display()
+                                            ),
+                                        );
+                                    }
+                                    checkpoints_ctr.inc();
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // Same policy ladder as `bad_record!`, but scoped
+                            // to the buffered line and without the outer-loop
+                            // `continue` (the batch keeps draining).
+                            let reason = e.to_string();
+                            consecutive_errors += 1;
+                            if matches!(policy, ErrorPolicy::Abort) {
+                                return (exit::RUNTIME, format!("line {b_line}: {reason}"));
+                            }
+                            if consecutive_errors > max_consecutive {
+                                return (
+                                    exit::RUNTIME,
+                                    format!(
+                                        "line {b_line}: {reason} ({consecutive_errors} \
+                                         consecutive bad records exceed \
+                                         --max-consecutive-errors {max_consecutive}; aborting)"
+                                    ),
+                                );
+                            }
+                            obs::event(
+                                obs::Level::Warn,
+                                TARGET,
+                                "record_error",
+                                &[
+                                    ("line", obs::Value::U64(b_line as u64)),
+                                    ("action", obs::Value::Str(policy.action())),
+                                ],
+                            );
+                            if let ErrorPolicy::Quarantine(path) = &policy {
+                                let file = quarantine_file.as_mut().expect("opened above");
+                                if let Err(e) = writeln!(file, "{raw}") {
+                                    return (
+                                        exit::RUNTIME,
+                                        format!(
+                                            "failed to quarantine line {b_line} to {path}: {e}"
+                                        ),
+                                    );
+                                }
+                                quarantined_ctr.inc();
+                                quarantined_total += 1;
+                            } else {
+                                skipped_ctr.inc();
+                                skipped_total += 1;
+                            }
+                            let verdict = match error_json(b_line, &reason, policy.action()) {
+                                Ok(j) => j.render(),
+                                Err(e) => return (exit::RUNTIME, format!("line {b_line}: {e}")),
+                            };
+                            match emit_line(sink, &verdict) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    hung_up = true;
+                                    break;
+                                }
+                                Err(e) => return (exit::RUNTIME, e),
+                            }
+                        }
+                    }
+                }
+            }
+            hung_up
+        }};
+    }
+
     let mut lines = input.lines();
     loop {
         line_no += 1;
         let line = match lines.next() {
             None => break,
             Some(Ok(l)) => l,
-            Some(Err(e)) => bad_record!(format!("stdin read failed: {e}"), None),
+            Some(Err(e)) => {
+                if flush_batch!() {
+                    break;
+                }
+                bad_record!(format!("stdin read failed: {e}"), None)
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -381,8 +526,22 @@ fn stream_under_session(
         }
         let row = match parse_row(&line, delimiter, &missing, n_dims) {
             Ok(r) => r,
-            Err(msg) => bad_record!(msg, Some(&line)),
+            Err(msg) => {
+                // Drain buffered records first so the error verdict lands at
+                // its arrival position in the output.
+                if flush_batch!() {
+                    break;
+                }
+                bad_record!(msg, Some(&line))
+            }
         };
+        if batch > 1 {
+            pending.push((line_no, line, row));
+            if pending.len() >= batch && flush_batch!() {
+                break;
+            }
+            continue;
+        }
         let verdict = {
             let _span = obs::span(obs::Level::Trace, "hdoutlier.cli", "score_record");
             match scorer.score_record(&row) {
@@ -415,6 +574,9 @@ fn stream_under_session(
             }
         }
     }
+    // Score any partial batch left at EOF (or hang-up: the verdicts go
+    // nowhere, but the records were accepted and belong in the checkpoint).
+    let _ = flush_batch!();
     // A final checkpoint at EOF (or consumer hang-up) so a clean restart
     // resumes from the last record, not the last cadence boundary.
     if let Some(path) = &checkpoint_path {
@@ -808,6 +970,66 @@ mod tests {
         );
         assert_eq!(code, exit::OK, "{out}");
         assert_eq!(out.lines().count(), 7);
+    }
+
+    #[test]
+    fn batch_scoring_output_is_byte_identical_to_record_at_a_time() {
+        let (csv_text, model_path, _) = trained("stream-batch");
+        let (code, serial) = super::run_with_input(
+            &argv(&["--model", model_path.to_str().unwrap()]),
+            csv_text.as_bytes(),
+        );
+        assert_eq!(code, exit::OK, "{serial}");
+        assert!(!serial.is_empty());
+        // Batch sizes that divide the stream unevenly, several thread counts.
+        for (batch, threads) in [("1", "2"), ("7", "2"), ("7", "8"), ("64", "4")] {
+            let (code, batched) = super::run_with_input(
+                &argv(&[
+                    "--model",
+                    model_path.to_str().unwrap(),
+                    "--batch",
+                    batch,
+                    "--threads",
+                    threads,
+                ]),
+                csv_text.as_bytes(),
+            );
+            assert_eq!(code, exit::OK, "{batched}");
+            assert_eq!(batched, serial, "--batch {batch} --threads {threads}");
+        }
+    }
+
+    #[test]
+    fn batched_error_verdicts_keep_arrival_order() {
+        let (_, model_path, _) = trained("stream-batch-err");
+        let input = "1,2,3\n0,0,0,0,0,0\n1,2,3,4,5,banana\n1,1,1,1,1,1\n";
+        let base = argv(&[
+            "--model",
+            model_path.to_str().unwrap(),
+            "--no-header",
+            "--on-error",
+            "skip",
+        ]);
+        let (code, serial) = super::run_with_input(&base, input.as_bytes());
+        assert_eq!(code, exit::OK, "{serial}");
+        let mut batched_args = base.clone();
+        batched_args.extend(argv(&["--batch", "3", "--threads", "2"]));
+        let (code, batched) = super::run_with_input(&batched_args, input.as_bytes());
+        assert_eq!(code, exit::OK, "{batched}");
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn batch_and_threads_reject_zero() {
+        let (_, model_path, _) = trained("stream-batch-usage");
+        for flag in ["--batch=0", "--threads=0"] {
+            let (code, out) = super::run_with_input(
+                &argv(&["--model", model_path.to_str().unwrap(), flag]),
+                b"" as &[u8],
+            );
+            assert_eq!(code, exit::USAGE, "{flag}");
+            assert!(out.contains("must be >= 1"), "{out}");
+        }
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Cross-thread-count equivalence suite: the pooled search, drill-down,
+//! and baseline paths must produce **byte-identical** `--json` reports at
+//! any `--threads` setting. This is the contract that makes `--threads`
+//! safe to default to the machine's core count — parallelism is a pure
+//! speedup, never a result change.
+//!
+//! The one exception is `detect`'s `stats.elapsed_ms`, which is wall-clock
+//! time and differs even between two serial runs; it is normalized to `0`
+//! before comparison.
+
+use hdoutlier_cli::{exit, run};
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+/// A seeded 6-dimensional dataset: a xorshift-uniform bulk plus planted
+/// contrarians in otherwise-empty grid cells. Deterministic by construction,
+/// so every invocation in this suite sees the same bytes.
+fn seeded_csv(dir_tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hdoutlier-determinism-{}-{dir_tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("seeded.csv");
+    let mut text = String::from("a,b,c,d,e,f\n");
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..240 {
+        let row: Vec<String> = (0..6).map(|_| format!("{:.6}", next())).collect();
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    text.push_str("30.0,30.0,0.5,0.5,0.5,0.5\n");
+    text.push_str("-30.0,0.5,-30.0,0.5,0.5,0.5\n");
+    text.push_str("0.5,-30.0,0.5,30.0,0.5,0.5\n");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// Runs the CLI, asserting success, and returns the full output.
+fn run_ok(parts: &[&str]) -> String {
+    let (code, out) = run(&argv(parts));
+    assert_eq!(code, exit::OK, "{}: {out}", parts.join(" "));
+    out
+}
+
+/// Replaces the wall-clock `"elapsed_ms"` value with `0` so reports can be
+/// compared byte-for-byte. Every other field is deterministic.
+fn normalize_elapsed(report: &str) -> String {
+    let needle = "\"elapsed_ms\": ";
+    let Some(at) = report.find(needle) else {
+        panic!("report has no elapsed_ms field:\n{report}");
+    };
+    let start = at + needle.len();
+    let end = start
+        + report[start..]
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .expect("the number is followed by a delimiter");
+    assert!(end > start, "elapsed_ms value is not numeric:\n{report}");
+    format!("{}0{}", &report[..start], &report[end..])
+}
+
+#[test]
+fn detect_brute_force_is_identical_at_any_thread_count() {
+    let csv = seeded_csv("detect-brute");
+    let base = [
+        "detect",
+        "--phi=4",
+        "--k=3",
+        "--m=8",
+        "--search=brute",
+        "--json",
+    ];
+    let reference = {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", "1", csv.to_str().unwrap()]);
+        normalize_elapsed(&run_ok(&parts))
+    };
+    for threads in ["2", "8"] {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", threads, csv.to_str().unwrap()]);
+        let report = normalize_elapsed(&run_ok(&parts));
+        assert_eq!(report, reference, "--threads {threads} diverged");
+    }
+}
+
+#[test]
+fn detect_seeded_evolutionary_is_identical_at_any_thread_count() {
+    let csv = seeded_csv("detect-evolve");
+    let base = [
+        "detect",
+        "--phi=4",
+        "--k=3",
+        "--m=6",
+        "--search=evolutionary",
+        "--seed=7",
+        "--generations=60",
+        "--population=40",
+        "--json",
+    ];
+    let reference = {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", "1", csv.to_str().unwrap()]);
+        normalize_elapsed(&run_ok(&parts))
+    };
+    for threads in ["2", "8"] {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", threads, csv.to_str().unwrap()]);
+        let report = normalize_elapsed(&run_ok(&parts));
+        assert_eq!(report, reference, "--threads {threads} diverged");
+    }
+}
+
+#[test]
+fn explain_is_identical_at_any_thread_count() {
+    let csv = seeded_csv("explain");
+    let base = ["explain", "--row=240", "--phi=4", "--k=1,2,3", "--json"];
+    let reference = {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", "1", csv.to_str().unwrap()]);
+        run_ok(&parts)
+    };
+    assert!(reference.contains("\"views_total\""));
+    for threads in ["2", "8"] {
+        let mut parts = base.to_vec();
+        parts.extend(["--threads", threads, csv.to_str().unwrap()]);
+        let report = run_ok(&parts);
+        assert_eq!(report, reference, "--threads {threads} diverged");
+    }
+}
+
+#[test]
+fn baselines_are_identical_at_any_thread_count() {
+    let csv = seeded_csv("baseline");
+    for method in [&["--method=knn", "--k=3"][..], &["--method=lof", "--k=10"]] {
+        let mut base = vec!["baseline"];
+        base.extend_from_slice(method);
+        base.extend(["--top=12", "--json"]);
+        let reference = {
+            let mut parts = base.clone();
+            parts.extend(["--threads", "1", csv.to_str().unwrap()]);
+            run_ok(&parts)
+        };
+        assert!(reference.contains("\"outliers\""));
+        for threads in ["2", "8"] {
+            let mut parts = base.clone();
+            parts.extend(["--threads", threads, csv.to_str().unwrap()]);
+            let report = run_ok(&parts);
+            assert_eq!(report, reference, "{method:?} --threads {threads} diverged");
+        }
+    }
+}

@@ -73,18 +73,20 @@ pub fn brute_force_search<C: CubeCounter>(
 }
 
 /// The paper's search is single-threaded; this extension partitions the
-/// enumeration by the cube's *first* (lowest) dimension and runs the
-/// partitions on `threads` OS threads. Subtrees are disjoint, so the merged
-/// result equals the serial search up to tie order at the m-th place (tie
-/// ranks are broken by projection genes for determinism).
+/// enumeration by the cube's *first* (lowest) dimension — one task per
+/// dimension — and fans the tasks out on a [`hdoutlier_pool`] of `threads`
+/// workers. Subtrees are disjoint and each task is a pure function of its
+/// dimension, so the merged result is **identical at every thread count**
+/// (tie ranks at the m-th place are broken by projection genes).
 ///
-/// `config.max_candidates` is split evenly across threads, so an interrupted
-/// parallel run may cover a slightly different candidate subset than an
-/// interrupted serial one; completed runs are equivalent.
+/// `config.max_candidates` is split evenly across the *tasks* (not the
+/// threads), so even an interrupted run covers the same candidate subset no
+/// matter how many workers were live. The split means a budgeted run may
+/// cover a slightly different subset than [`brute_force_search`] with the
+/// same cap; completed runs are equivalent.
 ///
-/// Requires a `Sync` counter (the plain [`hdoutlier_index::BitmapCounter`]
-/// is; the memoizing `CachedCounter` is not — build one counter and share
-/// it).
+/// Requires a `Sync` counter ([`hdoutlier_index::BitmapCounter`] and the
+/// memoizing `CachedCounter` both are).
 pub fn brute_force_search_parallel<C: CubeCounter + Sync>(
     counter: &C,
     k: usize,
@@ -93,30 +95,25 @@ pub fn brute_force_search_parallel<C: CubeCounter + Sync>(
 ) -> BruteForceOutcome {
     assert!(threads >= 1, "need at least one thread");
     let d = counter.n_dims();
-    let per_thread_budget = config.max_candidates.map(|b| b.div_ceil(threads as u64));
-    let partitions: Vec<Vec<usize>> = (0..threads)
-        .map(|t| (t..d).step_by(threads).collect())
-        .collect();
-    let outcomes: Vec<BruteForceOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .iter()
-            .map(|first_dims| {
-                let thread_config = BruteForceConfig {
-                    max_candidates: per_thread_budget,
-                    ..config.clone()
-                };
-                scope.spawn(move || {
-                    let fitness = SparsityFitness::new(counter, k);
-                    brute_force_over_first_dims(&fitness, &thread_config, first_dims)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("no panics"))
-            .collect()
+    let first_dims: Vec<usize> = (0..d).filter(|&dim| dim + k <= d).collect();
+    let task_config = per_task_config(config, first_dims.len());
+    let outcomes = hdoutlier_pool::map(threads, &first_dims, |_, &dim| {
+        let fitness = SparsityFitness::new(counter, k);
+        brute_force_over_first_dims(&fitness, &task_config, &[dim])
     });
     merge_outcomes(outcomes, config.m)
+}
+
+/// Splits the candidate budget evenly across the per-dimension tasks, so an
+/// interrupted run is a function of the task decomposition alone — never of
+/// the worker count.
+fn per_task_config(config: &BruteForceConfig, n_tasks: usize) -> BruteForceConfig {
+    BruteForceConfig {
+        max_candidates: config
+            .max_candidates
+            .map(|b| b.div_ceil(n_tasks.max(1) as u64)),
+        ..config.clone()
+    }
 }
 
 fn merge_outcomes(outcomes: Vec<BruteForceOutcome>, m: usize) -> BruteForceOutcome {
@@ -313,6 +310,41 @@ pub fn brute_force_search_incremental(
     k: usize,
     config: &BruteForceConfig,
 ) -> BruteForceOutcome {
+    let d = counter.n_dims();
+    incremental_over_first_dims(counter, k, config, &(0..d).collect::<Vec<_>>())
+}
+
+/// The incremental search fanned out on a [`hdoutlier_pool`] of `threads`
+/// workers, one task per first dimension — the fast path behind the CLI's
+/// `--threads`. The task decomposition (and the even per-task split of
+/// `config.max_candidates`) is independent of the worker count, so the
+/// outcome is byte-identical at any `threads >= 1`; see
+/// [`brute_force_search_parallel`] for the same contract over a generic
+/// counter.
+pub fn brute_force_search_incremental_parallel(
+    counter: &hdoutlier_index::BitmapCounter,
+    k: usize,
+    config: &BruteForceConfig,
+    threads: usize,
+) -> BruteForceOutcome {
+    assert!(threads >= 1, "need at least one thread");
+    let d = counter.n_dims();
+    let first_dims: Vec<usize> = (0..d).filter(|&dim| dim + k <= d).collect();
+    let task_config = per_task_config(config, first_dims.len());
+    let outcomes = hdoutlier_pool::map(threads, &first_dims, |_, &dim| {
+        incremental_over_first_dims(counter, k, &task_config, &[dim])
+    });
+    merge_outcomes(outcomes, config.m)
+}
+
+/// The incremental DFS restricted to cubes whose lowest dimension is in
+/// `first_dims`; the full search is the union over all dimensions.
+fn incremental_over_first_dims(
+    counter: &hdoutlier_index::BitmapCounter,
+    k: usize,
+    config: &BruteForceConfig,
+    first_dims: &[usize],
+) -> BruteForceOutcome {
     use hdoutlier_index::Bitmap;
 
     assert!(k >= 1, "k must be at least 1");
@@ -327,76 +359,12 @@ pub fn brute_force_search_incremental(
     let params = hdoutlier_stats::SparsityParams::new(index.n_rows() as u64, index.phi(), k as u32)
         .expect("validated k and phi");
 
-    struct State<'a> {
-        index: &'a hdoutlier_index::GridIndex,
-        config: &'a BruteForceConfig,
-        d: usize,
-        phi: u16,
-        k: usize,
-        params: hdoutlier_stats::SparsityParams,
-        best: BoundedBest<(Vec<(u32, u16)>, usize)>,
-        candidates: u64,
-        scored: u64,
-        budget_hit: bool,
-    }
-
-    impl State<'_> {
-        fn descend(&mut self, partial: &Bitmap, chosen: &mut Vec<(u32, u16)>, next_dim: usize) {
-            if self.budget_hit {
-                return;
-            }
-            let depth = chosen.len();
-            let remaining = self.k - depth;
-            for dim in next_dim..=(self.d - remaining) {
-                for range in 0..self.phi {
-                    let posting = self.index.posting(dim as u32, range);
-                    let child = Bitmap::intersection(&[partial, posting]);
-                    let count = child.count();
-                    chosen.push((dim as u32, range));
-                    if chosen.len() == self.k {
-                        self.candidates += 1;
-                        self.scored += 1;
-                        if count > 0 || !self.config.require_nonempty {
-                            let sparsity = self.params.sparsity(count as u64);
-                            self.best.push(sparsity, (chosen.clone(), count));
-                        }
-                        self.check_budget();
-                    } else if count == 0 && self.config.require_nonempty {
-                        // Monotone occupancy: skip the empty subtree, account
-                        // for its size.
-                        let dims_left = self.d - (dim + 1);
-                        let need = self.k - chosen.len();
-                        let combos = binomial_u64(dims_left as u64, need as u64);
-                        self.candidates = self.candidates.saturating_add(
-                            combos.saturating_mul((self.phi as u64).saturating_pow(need as u32)),
-                        );
-                        self.check_budget();
-                    } else {
-                        self.descend(&child, chosen, dim + 1);
-                    }
-                    chosen.pop();
-                    if self.budget_hit {
-                        return;
-                    }
-                }
-            }
-        }
-
-        fn check_budget(&mut self) {
-            if let Some(cap) = self.config.max_candidates {
-                if self.candidates >= cap {
-                    self.budget_hit = true;
-                }
-            }
-        }
-    }
-
     // Root bitmap: everything.
     let mut root = Bitmap::new(index.n_rows());
     for row in 0..index.n_rows() {
         root.set(row);
     }
-    let mut state = State {
+    let mut state = IncrementalState {
         index,
         config,
         d,
@@ -408,7 +376,16 @@ pub fn brute_force_search_incremental(
         scored: 0,
         budget_hit: false,
     };
-    state.descend(&root, &mut Vec::with_capacity(k), 0);
+    let mut chosen = Vec::with_capacity(k);
+    for &dim in first_dims {
+        if dim + k > d {
+            continue; // not enough higher dims to complete a cube
+        }
+        state.explore(&root, &mut chosen, dim);
+        if state.budget_hit {
+            break;
+        }
+    }
     let completed = !state.budget_hit;
     let best = state
         .best
@@ -425,6 +402,91 @@ pub fn brute_force_search_incremental(
         candidates: state.candidates,
         scored: state.scored,
         completed,
+    }
+}
+
+/// The DFS state of one incremental search (one task of the parallel fan-out).
+struct IncrementalState<'a> {
+    index: &'a hdoutlier_index::GridIndex,
+    config: &'a BruteForceConfig,
+    d: usize,
+    phi: u16,
+    k: usize,
+    params: hdoutlier_stats::SparsityParams,
+    best: BoundedBest<(Vec<(u32, u16)>, usize)>,
+    candidates: u64,
+    scored: u64,
+    budget_hit: bool,
+}
+
+impl IncrementalState<'_> {
+    fn descend(
+        &mut self,
+        partial: &hdoutlier_index::Bitmap,
+        chosen: &mut Vec<(u32, u16)>,
+        next_dim: usize,
+    ) {
+        if self.budget_hit {
+            return;
+        }
+        let depth = chosen.len();
+        let remaining = self.k - depth;
+        for dim in next_dim..=(self.d - remaining) {
+            self.explore(partial, chosen, dim);
+            if self.budget_hit {
+                return;
+            }
+        }
+    }
+
+    /// Extends `partial` by every range of `dim`: scores leaves, prunes
+    /// empty subtrees, recurses otherwise.
+    fn explore(
+        &mut self,
+        partial: &hdoutlier_index::Bitmap,
+        chosen: &mut Vec<(u32, u16)>,
+        dim: usize,
+    ) {
+        use hdoutlier_index::Bitmap;
+        for range in 0..self.phi {
+            let posting = self.index.posting(dim as u32, range);
+            let child = Bitmap::intersection(&[partial, posting]);
+            let count = child.count();
+            chosen.push((dim as u32, range));
+            if chosen.len() == self.k {
+                self.candidates += 1;
+                self.scored += 1;
+                if count > 0 || !self.config.require_nonempty {
+                    let sparsity = self.params.sparsity(count as u64);
+                    self.best.push(sparsity, (chosen.clone(), count));
+                }
+                self.check_budget();
+            } else if count == 0 && self.config.require_nonempty {
+                // Monotone occupancy: skip the empty subtree, account
+                // for its size.
+                let dims_left = self.d - (dim + 1);
+                let need = self.k - chosen.len();
+                let combos = binomial_u64(dims_left as u64, need as u64);
+                self.candidates = self.candidates.saturating_add(
+                    combos.saturating_mul((self.phi as u64).saturating_pow(need as u32)),
+                );
+                self.check_budget();
+            } else {
+                self.descend(&child, chosen, dim + 1);
+            }
+            chosen.pop();
+            if self.budget_hit {
+                return;
+            }
+        }
+    }
+
+    fn check_budget(&mut self) {
+        if let Some(cap) = self.config.max_candidates {
+            if self.candidates >= cap {
+                self.budget_hit = true;
+            }
+        }
     }
 }
 
@@ -761,6 +823,62 @@ mod tests {
     fn zero_threads_panics() {
         let counter = fixture(10, 3, 2, 13);
         brute_force_search_parallel(&counter, 1, &BruteForceConfig::default(), 0);
+    }
+
+    #[test]
+    fn incremental_parallel_is_thread_count_invariant() {
+        // The core determinism contract: identical outcome at any thread
+        // count, with and without a budget.
+        let counter = fixture(300, 8, 4, 21);
+        for budget in [None, Some(600)] {
+            let config = BruteForceConfig {
+                m: 10,
+                require_nonempty: true,
+                max_candidates: budget,
+            };
+            let baseline = brute_force_search_incremental_parallel(&counter, 3, &config, 1);
+            for threads in [2usize, 4, 8] {
+                let got = brute_force_search_incremental_parallel(&counter, 3, &config, threads);
+                assert_eq!(got.candidates, baseline.candidates, "budget {budget:?}");
+                assert_eq!(got.scored, baseline.scored);
+                assert_eq!(got.completed, baseline.completed);
+                assert_eq!(
+                    got.best
+                        .iter()
+                        .map(|s| s.projection.clone())
+                        .collect::<Vec<_>>(),
+                    baseline
+                        .best
+                        .iter()
+                        .map(|s| s.projection.clone())
+                        .collect::<Vec<_>>(),
+                    "budget {budget:?}, threads {threads}"
+                );
+                for (a, b) in got.best.iter().zip(&baseline.best) {
+                    assert_eq!(a.sparsity.to_bits(), b.sparsity.to_bits());
+                    assert_eq!(a.count, b.count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parallel_matches_serial_incremental() {
+        // Unbudgeted, the pooled decomposition covers the same space and
+        // retains the same best set as the single-walker incremental search.
+        let counter = fixture(250, 6, 4, 22);
+        let config = BruteForceConfig {
+            m: 12,
+            ..BruteForceConfig::default()
+        };
+        let serial = brute_force_search_incremental(&counter, 2, &config);
+        let pooled = brute_force_search_incremental_parallel(&counter, 2, &config, 4);
+        assert_eq!(pooled.candidates, serial.candidates);
+        assert_eq!(pooled.best.len(), serial.best.len());
+        for (a, b) in pooled.best.iter().zip(&serial.best) {
+            assert!((a.sparsity - b.sparsity).abs() < 1e-12);
+            assert_eq!(a.count, b.count);
+        }
     }
 
     #[test]

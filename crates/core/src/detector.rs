@@ -117,8 +117,10 @@ pub struct DetectorConfig {
     pub max_generations: usize,
     /// Brute-force candidate budget (`None` = unlimited).
     pub max_candidates: Option<u64>,
-    /// OS threads for the brute-force search (1 = the paper's serial
-    /// algorithm; more uses the disjoint-partition parallel extension).
+    /// Worker threads for the search fan-outs (brute-force partitions and
+    /// GA fitness evaluation). The task decomposition is thread-count
+    /// invariant, so any value >= 1 yields identical reports; 1 runs the
+    /// paper's serial algorithm inline.
     pub threads: usize,
     /// Only report projections covering at least one record.
     pub require_nonempty: bool,
@@ -242,13 +244,16 @@ impl OutlierDetector {
         // Debug-level span: the trace profile gets the search slice without
         // doubling the rich Info "search" event below at default filtering.
         let search_span = obs::span(obs::Level::Debug, TARGET, "search");
-        let outcome = if self.config.threads > 1 {
-            crate::brute::brute_force_search_parallel(counter, k, &config, self.config.threads)
-        } else {
-            // The incremental-intersection fast path (identical results,
-            // ~k× fewer word operations per node; see the `index` bench).
-            crate::brute::brute_force_search_incremental(counter, k, &config)
-        };
+        // Every thread count routes through the same pooled per-dimension
+        // decomposition of the incremental-intersection fast path, so the
+        // report is byte-identical whether one worker runs the tasks in
+        // sequence or eight race through them.
+        let outcome = crate::brute::brute_force_search_incremental_parallel(
+            counter,
+            k,
+            &config,
+            self.config.threads.max(1),
+        );
         drop(search_span);
         let stats = SearchStats {
             work: outcome.candidates,
@@ -276,7 +281,7 @@ impl OutlierDetector {
         })
     }
 
-    fn run_evolutionary<C: CubeCounter>(&self, counter: &C, k: usize) -> OutlierReport {
+    fn run_evolutionary<C: CubeCounter + Sync>(&self, counter: &C, k: usize) -> OutlierReport {
         let fitness = SparsityFitness::new(counter, k);
         let start = Instant::now();
         let search_span = obs::span(obs::Level::Debug, TARGET, "search");
@@ -294,6 +299,7 @@ impl OutlierDetector {
                 require_nonempty: self.config.require_nonempty,
                 track_internal_candidates: true,
                 seed: self.config.seed,
+                threads: self.config.threads.max(1),
             },
         );
         drop(search_span);
@@ -326,12 +332,44 @@ impl OutlierDetector {
 }
 
 /// Fluent builder for [`OutlierDetector`].
+///
+/// Every setter (including [`search`](DetectorBuilder::search)) takes `self`
+/// **by value** and returns it — the standard consuming-builder idiom. Move
+/// semantics are deliberate: they let a whole configuration be one
+/// expression (`OutlierDetector::builder().phi(5).k(2).build()`) with no
+/// borrow of a temporary, and they make a half-configured builder impossible
+/// to reuse by accident after `build`. A `&mut self` variant would return
+/// `&mut DetectorBuilder` and the one-expression form would then borrow a
+/// dropped temporary. Callers that configure conditionally don't need to
+/// clone anything — rebind the moved value (`builder = builder.phi(p)`), or
+/// use [`maybe`](DetectorBuilder::maybe) to fold an `Option` in without
+/// breaking the chain.
 #[derive(Debug, Clone)]
 pub struct DetectorBuilder {
     config: DetectorConfig,
 }
 
 impl DetectorBuilder {
+    /// Applies `set` when `value` is present — keeps a chain of optional
+    /// settings (typical for CLI flags) in one expression instead of a
+    /// ladder of `if let Some(x) { builder = builder.x(x) }` rebindings.
+    ///
+    /// ```
+    /// use hdoutlier_core::OutlierDetector;
+    /// let phi: Option<u32> = None;
+    /// let detector = OutlierDetector::builder()
+    ///     .maybe(phi, |b, p| b.phi(p))
+    ///     .m(10)
+    ///     .build();
+    /// assert_eq!(detector.config().phi, None);
+    /// ```
+    pub fn maybe<T>(self, value: Option<T>, set: impl FnOnce(Self, T) -> Self) -> Self {
+        match value {
+            Some(v) => set(self, v),
+            None => self,
+        }
+    }
+
     /// Sets φ (grid ranges per dimension).
     pub fn phi(mut self, phi: u32) -> Self {
         self.config.phi = Some(phi);
@@ -363,6 +401,9 @@ impl DetectorBuilder {
     }
 
     /// Chooses the search method.
+    ///
+    /// Takes `self` by value like every other setter — see the type-level
+    /// docs for why the builder moves instead of borrowing.
     pub fn search(mut self, method: SearchMethod) -> Self {
         self.config.search = method;
         self
@@ -410,7 +451,8 @@ impl DetectorBuilder {
         self
     }
 
-    /// Uses `t` OS threads for the brute-force search.
+    /// Uses `t` pool workers for the search fan-outs (identical reports at
+    /// any `t >= 1`).
     pub fn threads(mut self, t: usize) -> Self {
         self.config.threads = t;
         self
@@ -574,6 +616,50 @@ mod tests {
                 .map(|s| s.projection.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn brute_force_report_is_identical_at_any_thread_count() {
+        let p = planted();
+        let run = |threads: usize| {
+            OutlierDetector::builder()
+                .phi(5)
+                .k(2)
+                .m(10)
+                .threads(threads)
+                .search(SearchMethod::BruteForce)
+                .build()
+                .detect(&p.dataset)
+                .unwrap()
+        };
+        let one = run(1);
+        for threads in [2usize, 8] {
+            let r = run(threads);
+            assert_eq!(r.outlier_rows, one.outlier_rows, "threads {threads}");
+            assert_eq!(
+                r.projections
+                    .iter()
+                    .map(|s| s.projection.clone())
+                    .collect::<Vec<_>>(),
+                one.projections
+                    .iter()
+                    .map(|s| s.projection.clone())
+                    .collect::<Vec<_>>()
+            );
+            for (a, b) in r.projections.iter().zip(&one.projections) {
+                assert_eq!(a.sparsity.to_bits(), b.sparsity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn maybe_applies_only_present_values() {
+        let detector = OutlierDetector::builder()
+            .maybe(Some(7u32), |b, p| b.phi(p))
+            .maybe(None::<usize>, |b, k| b.k(k))
+            .build();
+        assert_eq!(detector.config().phi, Some(7));
+        assert_eq!(detector.config().k, None);
     }
 
     #[test]

@@ -45,6 +45,43 @@ pub fn record_profile<C: CubeCounter>(
     row: usize,
     ks: &[usize],
 ) -> Vec<RecordView> {
+    let cubes = enumerate_view_cubes(counter, disc, row, ks);
+    let views = cubes
+        .iter()
+        .map(|entry| score_view(counter, entry))
+        .collect();
+    sort_views(views)
+}
+
+/// [`record_profile`] with the counter queries fanned out over pool
+/// workers. The view list is enumerated serially (cheap combinatorics);
+/// only the `C(d, k)` occupancy counts run on the pool, and they come back
+/// in enumeration order, so the profile is bit-identical at any thread
+/// count.
+pub fn record_profile_threaded<C: CubeCounter + Sync>(
+    counter: &C,
+    disc: &Discretized,
+    row: usize,
+    ks: &[usize],
+    threads: usize,
+) -> Vec<RecordView> {
+    if threads <= 1 {
+        return record_profile(counter, disc, row, ks);
+    }
+    let cubes = enumerate_view_cubes(counter, disc, row, ks);
+    let views = hdoutlier_pool::map(threads, &cubes, |_, entry| score_view(counter, entry));
+    sort_views(views)
+}
+
+/// Every view cube of the record at the requested dimensionalities, paired
+/// with the sparsity parameters of its `k`, in deterministic enumeration
+/// order.
+fn enumerate_view_cubes<C: CubeCounter>(
+    counter: &C,
+    disc: &Discretized,
+    row: usize,
+    ks: &[usize],
+) -> Vec<(SparsityParams, Cube)> {
     assert!(row < disc.n_rows(), "row {row} out of bounds");
     let cells = disc.row(row);
     let present: Vec<(u32, u16)> = cells
@@ -56,7 +93,7 @@ pub fn record_profile<C: CubeCounter>(
     let n = counter.n_rows() as u64;
     let phi = counter.phi();
 
-    let mut views = Vec::new();
+    let mut cubes = Vec::new();
     for &k in ks {
         assert!(
             k >= 1 && k <= present.len(),
@@ -66,17 +103,29 @@ pub fn record_profile<C: CubeCounter>(
         let params = SparsityParams::new(n, phi, k as u32).expect("validated");
         let mut chosen: Vec<(u32, u16)> = Vec::with_capacity(k);
         subsets(&present, k, &mut chosen, &mut |pairs| {
-            let cube = Cube::new(pairs.iter().copied()).expect("distinct dims");
-            let count = counter.count(&cube);
-            debug_assert!(count >= 1, "a record always covers its own cube");
-            views.push(RecordView {
-                cube,
-                count,
-                sparsity: params.sparsity(count as u64),
-                exact_significance: params.exact_significance(count as u64),
-            });
+            cubes.push((
+                params,
+                Cube::new(pairs.iter().copied()).expect("distinct dims"),
+            ));
         });
     }
+    cubes
+}
+
+/// Scores one enumerated view: the only counter query of the profile path.
+fn score_view<C: CubeCounter>(counter: &C, entry: &(SparsityParams, Cube)) -> RecordView {
+    let (params, cube) = entry;
+    let count = counter.count(cube);
+    debug_assert!(count >= 1, "a record always covers its own cube");
+    RecordView {
+        cube: cube.clone(),
+        count,
+        sparsity: params.sparsity(count as u64),
+        exact_significance: params.exact_significance(count as u64),
+    }
+}
+
+fn sort_views(mut views: Vec<RecordView>) -> Vec<RecordView> {
     views.sort_by(|a, b| {
         a.exact_significance
             .partial_cmp(&b.exact_significance)
@@ -200,6 +249,25 @@ mod tests {
         assert_eq!(profile.len(), 3);
         for v in &profile {
             assert!(!v.cube.dims().contains(&1));
+        }
+    }
+
+    #[test]
+    fn threaded_profile_is_bit_identical_to_serial() {
+        let (_, disc, counter) = fixture();
+        let serial = record_profile(&counter, &disc, 3, &[1, 2]);
+        for threads in [1, 2, 8] {
+            let got = record_profile_threaded(&counter, &disc, 3, &[1, 2], threads);
+            assert_eq!(got.len(), serial.len());
+            for (g, s) in got.iter().zip(&serial) {
+                assert_eq!(g.cube, s.cube, "threads = {threads}");
+                assert_eq!(g.count, s.count);
+                assert_eq!(g.sparsity.to_bits(), s.sparsity.to_bits());
+                assert_eq!(
+                    g.exact_significance.to_bits(),
+                    s.exact_significance.to_bits()
+                );
+            }
         }
     }
 

@@ -44,6 +44,9 @@ pub struct EvolutionaryConfig {
     pub track_internal_candidates: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for fitness evaluation (the engine's only parallel
+    /// stage). The reported best-set is identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for EvolutionaryConfig {
@@ -60,6 +63,7 @@ impl Default for EvolutionaryConfig {
             require_nonempty: true,
             track_internal_candidates: true,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -131,7 +135,7 @@ impl<C: CubeCounter> EvolutionaryProblem for ProjectionProblem<'_, C> {
 ///
 /// # Panics
 /// Panics if the population size or `m` is zero.
-pub fn evolutionary_search<C: CubeCounter>(
+pub fn evolutionary_search<C: CubeCounter + Sync>(
     fitness: &SparsityFitness<'_, C>,
     config: &EvolutionaryConfig,
 ) -> EvolutionaryOutcome {
@@ -161,6 +165,7 @@ pub fn evolutionary_search<C: CubeCounter>(
             stall_generations: None,
             elitism: 0,
             seed: config.seed,
+            threads: config.threads.max(1),
         },
     );
     // Without internal tracking, collect population-level evaluations only
@@ -256,7 +261,7 @@ pub struct MultiRestartOutcome {
 /// restart to look elsewhere.
 ///
 /// Bans are cleared before returning so the fitness can be reused.
-pub fn multi_restart_search<C: CubeCounter>(
+pub fn multi_restart_search<C: CubeCounter + Sync>(
     fitness: &SparsityFitness<'_, C>,
     config: &MultiRestartConfig,
 ) -> MultiRestartOutcome {

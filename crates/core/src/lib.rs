@@ -55,7 +55,7 @@ pub mod projection;
 pub mod report;
 
 pub use detector::{DetectorConfig, OutlierDetector, SearchMethod};
-pub use drill::{record_profile, RecordView};
+pub use drill::{record_profile, record_profile_threaded, RecordView};
 pub use fitness::SparsityFitness;
 pub use model::FittedModel;
 pub use multi_k::MultiKReport;

@@ -1,0 +1,189 @@
+//! Oracle tests for [`hdoutlier_core::SparsityFitness`]: the sparsity
+//! coefficient the fitness reports is checked against a **naive recount**
+//! (a row scan of the discretized matrix, no index) fed through Eq. 1
+//! recomputed from first principles. The index, the projection→cube
+//! mapping, and the statistics all have to agree for these to pass.
+//!
+//! Also pins the two starvation edge cases: `n(D) = 0` (the empty-cube
+//! coefficient of §2.4) and `f^k` underflow (where Eq. 1 degenerates to
+//! `0/0` — the fitness must answer `+∞`, never `NaN`).
+
+use hdoutlier_core::projection::STAR;
+use hdoutlier_core::{Projection, SparsityFitness};
+use hdoutlier_data::discretize::{DiscretizeStrategy, Discretized};
+use hdoutlier_data::generators::uniform;
+use hdoutlier_index::{BitmapCounter, Cube, CubeCounter};
+use hdoutlier_stats::SparsityParams;
+
+/// Deterministic xorshift64* so every run sees the same random grids.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The oracle count: scan every discretized row and check the fixed genes
+/// by hand. No bitmaps, no cubes.
+fn naive_recount(disc: &Discretized, genes: &[u16]) -> usize {
+    (0..disc.n_rows())
+        .filter(|&r| {
+            disc.row(r)
+                .iter()
+                .zip(genes)
+                .all(|(&cell, &g)| g == STAR || cell == g)
+        })
+        .count()
+}
+
+/// Eq. 1 recomputed directly: `S = (n(D) − N·f^k) / sqrt(N·f^k·(1 − f^k))`.
+fn oracle_sparsity(count: usize, n: usize, phi: u32, k: usize) -> f64 {
+    let fk = (1.0 / phi as f64).powi(k as i32);
+    let expected = n as f64 * fk;
+    (count as f64 - expected) / (expected * (1.0 - fk)).sqrt()
+}
+
+fn assert_close(got: f64, want: f64, context: &str) {
+    let tol = 1e-12 * want.abs().max(1.0);
+    assert!(
+        (got - want).abs() <= tol,
+        "{context}: got {got}, oracle says {want}"
+    );
+}
+
+/// A random feasible projection: `k` distinct dimensions, random cells.
+fn random_projection(rng: &mut XorShift, d: usize, phi: u32, k: usize) -> Projection {
+    let mut genes = vec![STAR; d];
+    let mut fixed = 0;
+    while fixed < k {
+        let dim = rng.below(d as u64) as usize;
+        if genes[dim] == STAR {
+            genes[dim] = rng.below(phi as u64) as u16;
+            fixed += 1;
+        }
+    }
+    Projection::from_genes(genes)
+}
+
+#[test]
+fn fitness_matches_the_naive_recount_oracle_on_random_grids() {
+    // (rows, dims, phi, k, seed) — small enough to recount by scan, varied
+    // enough to hit count 0, count 1, and well-populated cubes.
+    let configs = [
+        (400usize, 5usize, 4u32, 2usize, 1u64),
+        (251, 6, 3, 3, 2),
+        (800, 4, 8, 1, 3),
+        (120, 7, 5, 4, 4),
+    ];
+    for (n, d, phi, k, seed) in configs {
+        let ds = uniform(n, d, seed);
+        let disc = Discretized::new(&ds, phi, DiscretizeStrategy::EquiDepth).unwrap();
+        let counter = BitmapCounter::new(&disc);
+        let fitness = SparsityFitness::new(&counter, k);
+        let mut rng = XorShift(0xDEADBEEF ^ seed);
+        for trial in 0..40 {
+            let p = random_projection(&mut rng, d, phi, k);
+            let recount = naive_recount(&disc, p.genes());
+            let context = format!("n={n} d={d} phi={phi} k={k} trial={trial} {p}");
+            assert_eq!(
+                fitness.count(&p).unwrap(),
+                recount,
+                "{context}: index disagrees with row scan"
+            );
+            assert_close(
+                fitness.evaluate(&p),
+                oracle_sparsity(recount, n, phi, k),
+                &context,
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_cubes_score_the_papers_empty_cube_coefficient() {
+    // 60 rows spread over 6^3 = 216 cube cells: most cubes are empty.
+    let (n, d, phi, k) = (60usize, 4usize, 6u32, 3usize);
+    let ds = uniform(n, d, 9);
+    let disc = Discretized::new(&ds, phi, DiscretizeStrategy::EquiDepth).unwrap();
+    let counter = BitmapCounter::new(&disc);
+    let fitness = SparsityFitness::new(&counter, k);
+    let params = SparsityParams::new(n as u64, phi, k as u32).unwrap();
+
+    let mut rng = XorShift(0xFEED);
+    let mut empties = 0;
+    let mut occupied_min = f64::INFINITY;
+    for _ in 0..200 {
+        let p = random_projection(&mut rng, d, phi, k);
+        let recount = naive_recount(&disc, p.genes());
+        let s = fitness.evaluate(&p);
+        if recount == 0 {
+            empties += 1;
+            // n(D) = 0 collapses Eq. 1 to −sqrt(N / (φ^k − 1)) (§2.4).
+            assert_close(s, params.empty_cube_sparsity(), &format!("{p}"));
+            assert_close(s, oracle_sparsity(0, n, phi, k), &format!("{p}"));
+            assert!(s < 0.0, "{p}: empty cube must score negative, got {s}");
+        } else {
+            occupied_min = occupied_min.min(s);
+        }
+    }
+    assert!(empties > 0, "no empty cube sampled in 200 trials");
+    // The empty-cube coefficient is the floor of the score scale.
+    assert!(
+        params.empty_cube_sparsity() < occupied_min,
+        "an occupied cube scored below the empty-cube floor"
+    );
+}
+
+/// A counter for a grid so fine that `f^k = φ^{−k}` underflows `f64`:
+/// `64 · ln(65534) ≈ 709.8 > 700`, past the validation cutoff in
+/// [`SparsityParams::new`]. No real index is needed — every cube is empty.
+struct StarvedCounter;
+
+impl CubeCounter for StarvedCounter {
+    fn count(&self, _cube: &Cube) -> usize {
+        0
+    }
+    fn rows(&self, _cube: &Cube) -> Vec<usize> {
+        Vec::new()
+    }
+    fn n_rows(&self) -> usize {
+        70
+    }
+    fn n_dims(&self) -> usize {
+        64
+    }
+    fn phi(&self) -> u32 {
+        65534
+    }
+}
+
+#[test]
+fn fk_underflow_scores_infinite_not_nan() {
+    // The params layer refuses the degenerate regime outright…
+    assert!(SparsityParams::new(70, 65534, 64).is_none());
+    assert!(SparsityParams::new(70, 65534, 63).is_some());
+
+    // …and the fitness layer answers +∞ for it: Eq. 1 would be 0/0 = NaN,
+    // which would silently poison every heap and sort downstream.
+    let counter = StarvedCounter;
+    let fitness = SparsityFitness::new(&counter, 64);
+    let genes: Vec<u16> = (0..64).map(|_| 0).collect();
+    let s = fitness.evaluate(&Projection::from_genes(genes));
+    assert!(s.is_infinite() && s > 0.0, "underflow regime scored {s}");
+
+    // One dimension shallower is still representable: a tiny but finite,
+    // strictly negative coefficient.
+    let fitness = SparsityFitness::new(&counter, 63);
+    let mut genes: Vec<u16> = (0..63).map(|_| 0).collect();
+    genes.push(STAR);
+    let s = fitness.evaluate(&Projection::from_genes(genes));
+    assert!(s.is_finite() && s < 0.0, "k = 63 should be finite, got {s}");
+}

@@ -116,6 +116,11 @@ pub struct EngineConfig {
     pub elitism: usize,
     /// RNG seed; every run with the same seed and problem is identical.
     pub seed: u64,
+    /// Worker threads for fitness evaluation. Fitness is the only stage that
+    /// fans out: it consumes no RNG, so the fitness vector is byte-identical
+    /// at any thread count, while selection, crossover, and mutation stay on
+    /// the single seeded stream. `1` evaluates inline with no pool.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +133,7 @@ impl Default for EngineConfig {
             stall_generations: None,
             elitism: 0,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -192,7 +198,16 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
 
     /// Runs to termination. `observer` sees every `(genome, fitness)`
     /// evaluation, including the seed population, in evaluation order.
-    pub fn run<F: FnMut(&P::Genome, f64)>(&self, mut observer: F) -> RunStats {
+    ///
+    /// With `threads > 1` the fitness values are computed by a worker pool,
+    /// but the observer still runs serially on this thread in population
+    /// order, so callers see the exact same call sequence at any thread
+    /// count.
+    pub fn run<F: FnMut(&P::Genome, f64)>(&self, mut observer: F) -> RunStats
+    where
+        P: Sync,
+        P::Genome: Sync,
+    {
         let metrics = EngineMetrics::resolve();
         // Stage timing costs four clock reads per generation; spend them
         // only when someone collects the numbers (debug logging or an
@@ -208,17 +223,25 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
 
         let evaluate =
             |pop: &[P::Genome], observer: &mut F, evals: &mut u64, best: &mut f64| -> Vec<f64> {
-                pop.iter()
-                    .map(|g| {
-                        let f = self.problem.fitness(g);
-                        *evals += 1;
-                        if f < *best {
-                            *best = f;
-                        }
-                        observer(g, f);
-                        f
-                    })
-                    .collect()
+                // Fitness first, fanned out when configured: `fitness` takes
+                // `&self` and no RNG, so the values are independent of the
+                // thread count. The bookkeeping pass below stays serial and
+                // in population order — the observer (and therefore the
+                // detector's best-set) sees an identical call sequence
+                // whether the pool ran with 1 worker or 8.
+                let values: Vec<f64> = if self.config.threads > 1 {
+                    hdoutlier_pool::map(self.config.threads, pop, |_, g| self.problem.fitness(g))
+                } else {
+                    pop.iter().map(|g| self.problem.fitness(g)).collect()
+                };
+                for (g, &f) in pop.iter().zip(&values) {
+                    *evals += 1;
+                    if f < *best {
+                        *best = f;
+                    }
+                    observer(g, f);
+                }
+                values
             };
 
         let gen_best = |fitness: &[f64]| fitness.iter().copied().fold(f64::INFINITY, f64::min);
@@ -534,6 +557,46 @@ mod tests {
             ..config.clone()
         };
         assert_ne!(run(&config).0, run(&other).0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_thread_count_invariant() {
+        // The pool only computes fitness values; selection/crossover/mutation
+        // stay on the seeded stream and the observer runs serially, so the
+        // full evaluation trace must be byte-identical at any thread count.
+        let problem = OneMax {
+            len: 20,
+            mutation_rate: 0.02,
+        };
+        let run = |threads: usize| {
+            let engine = Engine::new(
+                &problem,
+                EngineConfig {
+                    population: 40,
+                    max_generations: 60,
+                    seed: 11,
+                    threads,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut trace: Vec<u64> = Vec::new();
+            let stats = engine.run(|_, f| trace.push(f.to_bits()));
+            (
+                trace,
+                stats.best_fitness.to_bits(),
+                stats.generations_run,
+                stats.evaluations,
+                stats
+                    .best_history
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

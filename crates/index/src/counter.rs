@@ -14,8 +14,9 @@
 use crate::cube::Cube;
 use crate::grid::GridIndex;
 use hdoutlier_data::discretize::{Discretized, MISSING_CELL};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Anything that can report cube occupancy for a fixed dataset.
 pub trait CubeCounter {
@@ -127,11 +128,15 @@ impl CubeCounter for NaiveCounter {
 ///
 /// Only `count` is cached (it is the fitness hot path); `rows` delegates —
 /// it is called once per reported projection, not per generation.
+///
+/// The memo table sits behind a `Mutex` so parallel fitness evaluation can
+/// share one cache: a race between two workers on the same uncached cube
+/// merely recomputes an idempotent count, it never changes an answer.
 pub struct CachedCounter<C: CubeCounter> {
     inner: C,
-    cache: RefCell<HashMap<Cube, usize>>,
-    hits: RefCell<u64>,
-    misses: RefCell<u64>,
+    cache: Mutex<HashMap<Cube, usize>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<C: CubeCounter> CachedCounter<C> {
@@ -139,20 +144,23 @@ impl<C: CubeCounter> CachedCounter<C> {
     pub fn new(inner: C) -> Self {
         Self {
             inner,
-            cache: RefCell::new(HashMap::new()),
-            hits: RefCell::new(0),
-            misses: RefCell::new(0),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// `(hits, misses)` since construction — exposed for the cache ablation.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.borrow(), *self.misses.borrow())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drops all memoized entries.
     pub fn clear(&self) {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().expect("memo table poisoned").clear();
     }
 
     /// Unwraps the inner counter.
@@ -163,13 +171,18 @@ impl<C: CubeCounter> CachedCounter<C> {
 
 impl<C: CubeCounter> CubeCounter for CachedCounter<C> {
     fn count(&self, cube: &Cube) -> usize {
-        if let Some(&n) = self.cache.borrow().get(cube) {
-            *self.hits.borrow_mut() += 1;
+        if let Some(&n) = self.cache.lock().expect("memo table poisoned").get(cube) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return n;
         }
-        *self.misses.borrow_mut() += 1;
+        // Count outside the lock: an expensive intersection must not
+        // serialize the other workers behind the memo table.
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let n = self.inner.count(cube);
-        self.cache.borrow_mut().insert(cube.clone(), n);
+        self.cache
+            .lock()
+            .expect("memo table poisoned")
+            .insert(cube.clone(), n);
         n
     }
 

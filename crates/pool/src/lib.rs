@@ -1,0 +1,364 @@
+//! A scoped worker pool for deterministic data parallelism.
+//!
+//! The workspace is hermetic (`--offline`, every dependency an in-tree path
+//! crate), so rayon is off the table; this crate is the std-only substitute
+//! the search and scoring paths fan out on. The design is deliberately
+//! narrow — one primitive, [`map`], with three properties the callers lean
+//! on:
+//!
+//! 1. **Ordered reduction.** `map(threads, items, f)` returns
+//!    `f(i, &items[i])` for every `i`, *in input order*, no matter which
+//!    worker computed which item. Callers that need byte-identical output at
+//!    any thread count only have to make `f` a pure function of `(i, item)`.
+//! 2. **Chunked work queue.** Workers pull fixed-size chunks off a shared
+//!    atomic cursor, so an uneven workload rebalances dynamically instead of
+//!    idling behind a static partition. Chunks a worker takes beyond its
+//!    first count as "steals" in the `hdoutlier.pool.steals` metric.
+//! 3. **Panic propagation.** A panic inside `f` aborts the pool and is
+//!    re-raised on the caller thread by [`map`], or surfaced as
+//!    `Err(`[`WorkerPanic`]`)` by [`try_map`] — never a deadlock, never a
+//!    silently missing result.
+//!
+//! Worker threads are named `pool-worker-<n>` and run under a
+//! `hdoutlier.pool / worker` span, so Chrome-trace captures (`--trace-out`)
+//! show one lane per worker for free.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hdoutlier_obs as obs;
+
+/// Event/metric target for the pool.
+const TARGET: &str = "hdoutlier.pool";
+
+/// A worker panicked while running the mapped closure.
+///
+/// Carries the original panic payload so [`map`] can re-raise it intact;
+/// [`message`](WorkerPanic::message) extracts the human-readable text when
+/// the payload is a string (the overwhelmingly common case).
+pub struct WorkerPanic {
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl WorkerPanic {
+    /// The panic message, when the payload is a `&str` or `String`.
+    pub fn message(&self) -> Option<&str> {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            Some(s)
+        } else {
+            self.payload.downcast_ref::<String>().map(|s| s.as_str())
+        }
+    }
+
+    /// Consumes the error, returning the raw panic payload.
+    pub fn into_payload(self) -> Box<dyn std::any::Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPanic")
+            .field("message", &self.message().unwrap_or("<non-string payload>"))
+            .finish()
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked: {}",
+            self.message().unwrap_or("<non-string payload>")
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// The number of threads worth spawning on this machine: available
+/// parallelism, or 1 when the OS will not say.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` workers and returns the
+/// results in input order. Panics in `f` are re-raised on the caller.
+///
+/// `threads` is an upper bound: no more workers than items are spawned, and
+/// with one worker (or one item) the closure runs inline on the caller
+/// thread. Must be >= 1.
+///
+/// ```
+/// let squares = hdoutlier_pool::map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_map(threads, items, f) {
+        Ok(results) => results,
+        Err(panic) => resume_unwind(panic.into_payload()),
+    }
+}
+
+/// Like [`map`], but a panic in `f` is returned as `Err(WorkerPanic)`
+/// instead of unwinding the caller. Remaining workers stop at their next
+/// chunk boundary; partial results are discarded.
+pub fn try_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(threads >= 1, "thread count must be >= 1");
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = threads.min(items.len());
+    let metrics = PoolMetrics::resolve();
+    metrics.workers.set(workers as i64);
+
+    if workers == 1 {
+        // Inline fast path: no spawn, no queue — but the same contract.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect()
+        }));
+        metrics.tasks.add(items.len() as u64);
+        return result.map_err(|payload| WorkerPanic { payload });
+    }
+
+    // Aim for several chunks per worker so a slow chunk rebalances, without
+    // hammering the shared cursor on tiny items.
+    let chunk = items.len().div_ceil(workers * 8).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>> = Mutex::new(None);
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots_mutex = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cursor = &cursor;
+            let abort = &abort;
+            let panic_slot = &panic_slot;
+            let slots_mutex = &slots_mutex;
+            let metrics = &metrics;
+            let f = &f;
+            std::thread::Builder::new()
+                .name(format!("pool-worker-{w}"))
+                .spawn_scoped(scope, move || {
+                    let _lane = obs::span(obs::Level::Debug, TARGET, "worker");
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut chunks_taken = 0usize;
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        chunks_taken += 1;
+                        let start = c * chunk;
+                        let end = (start + chunk).min(items.len());
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            for (i, item) in items[start..end].iter().enumerate() {
+                                local.push((start + i, f(start + i, item)));
+                            }
+                        }));
+                        match run {
+                            Ok(()) => metrics.tasks.add((end - start) as u64),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let mut slot = panic_slot.lock().expect("panic slot poisoned");
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if chunks_taken > 1 {
+                        metrics.steals.add((chunks_taken - 1) as u64);
+                    }
+                    // Ordered reduction: place results by input index.
+                    let mut slots = slots_mutex.lock().expect("result slots poisoned");
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                })
+                .expect("spawning a scoped worker thread cannot fail");
+        }
+    });
+
+    if let Some(payload) = panic_slot.into_inner().expect("panic slot poisoned") {
+        return Err(WorkerPanic { payload });
+    }
+    Ok(slots
+        .into_iter()
+        .map(|r| r.expect("every index was assigned to exactly one chunk"))
+        .collect())
+}
+
+/// Metric handles resolved once per `map` call (three registry lookups,
+/// lock-free thereafter).
+struct PoolMetrics {
+    tasks: obs::Counter,
+    steals: obs::Counter,
+    workers: obs::Gauge,
+}
+
+impl PoolMetrics {
+    fn resolve() -> Self {
+        let r = obs::registry();
+        PoolMetrics {
+            tasks: r.counter("hdoutlier.pool.tasks"),
+            steals: r.counter("hdoutlier.pool.steals"),
+            workers: r.gauge("hdoutlier.pool.workers"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, &r) in out.iter().enumerate() {
+                assert_eq!(r, i as u64 * 3 + 1, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<u64> = map(8, &[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = map(64, &[10u64, 20, 30], |_, &x| x + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let caller = std::thread::current().id();
+        let out = map(8, &[7u64], |_, &x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x
+        });
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_as_err_not_a_hang() {
+        let items: Vec<u64> = (0..100).collect();
+        let err = try_map(4, &items, |_, &x| {
+            if x == 37 {
+                panic!("boom at {x}");
+            }
+            x
+        })
+        .expect_err("a worker panicked");
+        assert_eq!(err.message(), Some("boom at 37"));
+        assert!(err.to_string().contains("boom at 37"));
+    }
+
+    #[test]
+    fn panic_with_one_worker_is_also_an_err() {
+        let err = try_map(1, &[1u64], |_, _| -> u64 { panic!("inline boom") })
+            .expect_err("inline path panicked");
+        assert_eq!(err.message(), Some("inline boom"));
+    }
+
+    #[test]
+    fn map_reraises_the_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            map(4, &(0..50).collect::<Vec<u64>>(), |_, &x| {
+                if x == 13 {
+                    panic!("reraise me");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("map should re-raise");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("reraise me"));
+    }
+
+    #[test]
+    fn zero_threads_panics() {
+        let caught = std::panic::catch_unwind(|| map(0, &[1u64], |_, &x| x));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn stress_interleaved_submits() {
+        // Loom-free stress: several OS threads hammer the pool concurrently
+        // with differently-sized submissions while the pool itself fans out.
+        // Exercises the shared metrics handles and scope teardown under
+        // interleaving; every submission must still reduce in order.
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for round in 0..50usize {
+                        let n = (t * 53 + round * 17) % 97;
+                        let items: Vec<usize> = (0..n).collect();
+                        let out = map(1 + (round % 5), &items, |i, &x| {
+                            assert_eq!(i, x);
+                            x.wrapping_mul(2654435761)
+                        });
+                        assert_eq!(out.len(), n);
+                        for (i, &r) in out.iter().enumerate() {
+                            assert_eq!(r, i.wrapping_mul(2654435761));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pool_metrics_accumulate() {
+        let tasks_before = obs::registry().counter("hdoutlier.pool.tasks").get();
+        let items: Vec<u64> = (0..256).collect();
+        let _ = map(4, &items, |_, &x| x);
+        let tasks_after = obs::registry().counter("hdoutlier.pool.tasks").get();
+        assert!(
+            tasks_after >= tasks_before + 256,
+            "tasks counter should grow by at least the submission size"
+        );
+        assert!(obs::registry().gauge("hdoutlier.pool.workers").get() >= 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}
