@@ -33,6 +33,19 @@ cargo test -q --offline -p hdoutlier-cli --test determinism
 cargo test -q --offline -p hdoutlier-stream --test faults
 cargo test -q --offline -p hdoutlier-cli --test fault_injection
 
+# The serving stack, bottom-up: HTTP wire edge cases against the std-only
+# server (fragmented reads, 413/431 caps, keep-alive, the connection
+# budget, drain races — crates/net/tests/http.rs); session registry,
+# byte-identity with a direct scorer, isolation, trip ladder, and
+# checkpoint/resume at the ServeApp level (crates/serve/tests/serve.rs);
+# then the compiled binary over real TCP: concurrent sessions
+# byte-identical to `stream`, kill -9 → restart → resume continuation
+# equivalence, and graceful drain on SIGTERM and POST /shutdown
+# (crates/cli/tests/serve_e2e.rs).
+cargo test -q --offline -p hdoutlier-net --test http
+cargo test -q --offline -p hdoutlier-serve --test serve
+cargo test -q --offline -p hdoutlier-cli --test serve_e2e
+
 # Perf gate: the streaming hot path must stay within noise of the recorded
 # baseline (BENCH_stream.json). Tolerance is generous (50%) because absolute
 # wall-clock varies across machines; it exists to catch accidental

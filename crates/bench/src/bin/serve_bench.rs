@@ -1,0 +1,191 @@
+//! Serving-path bench: records/second and request latency through the
+//! whole `hdoutlier serve` stack — HTTP framing, session registry, NDJSON
+//! parse, pooled scoring, NDJSON render — over real loopback TCP.
+//!
+//! ```text
+//! cargo run -p hdoutlier-bench --release --bin serve_bench -- \
+//!     [n_records] [records_per_request] [--bench-json <path>]
+//! ```
+//!
+//! One session is created on an in-process [`ServeHandle`]; the client
+//! then POSTs `n_records / records_per_request` scoring requests on a
+//! single keep-alive connection and times each round trip. The datapoint
+//! (`BENCH_serve.json`, schema `hdoutlier-bench/1`) records the end-to-end
+//! throughput and the per-request latency percentiles — the `latency_us`
+//! block is request round-trip time here, not per-record time.
+
+use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
+use hdoutlier_core::{OutlierDetector, SearchMethod};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_json::Json;
+use hdoutlier_net::ServerConfig;
+use hdoutlier_serve::{ServeConfig, ServeHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_json = match args.iter().position(|a| a == "--bench-json") {
+        Some(i) if i + 1 < args.len() => {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("--bench-json requires a path");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let n_records: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let per_request: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n_requests = n_records / per_request;
+    assert!(n_requests >= 1, "need at least one full request");
+
+    // A modest model: the bench measures the serving stack, not the search.
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 2_000,
+        n_dims: 8,
+        n_outliers: 5,
+        strong_groups: Some(2),
+        seed: 127,
+        ..PlantedConfig::default()
+    });
+    let model = OutlierDetector::builder()
+        .phi(5)
+        .k(2)
+        .m(8)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&planted.dataset)
+        .unwrap();
+    let model_json = hdoutlier_stream::model_io::to_json(&model)
+        .unwrap()
+        .render();
+
+    // Pre-render every request body so the timed loop measures the server,
+    // not the client's formatter. Records cycle through the dataset.
+    let bodies: Vec<String> = (0..n_requests)
+        .map(|r| {
+            let mut body = String::with_capacity(per_request * 16 * 8);
+            for i in 0..per_request {
+                let row = planted
+                    .dataset
+                    .row((r * per_request + i) % planted.dataset.n_rows());
+                let line = Json::Array(row.iter().map(|&v| Json::from(v)).collect());
+                body.push_str(&line.render());
+                body.push('\n');
+            }
+            body
+        })
+        .collect();
+
+    let handle = ServeHandle::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            http: ServerConfig {
+                // Keep the bench's single connection alive for the whole run.
+                max_requests_per_connection: n_requests + 8,
+                ..ServerConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let create = format!("{{\"id\": \"bench\", \"batch\": 64, \"model\": {model_json}}}");
+    let (status, _) = request(&mut conn, "POST", "/sessions", &create);
+    assert_eq!(status, 201, "session create failed");
+
+    // Warm-up request (connection, page faults, lazy init), untimed.
+    let (status, _) = request(&mut conn, "POST", "/sessions/bench/score", &bodies[0]);
+    assert_eq!(status, 200);
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(n_requests);
+    let started = Instant::now();
+    for body in &bodies {
+        let t0 = Instant::now();
+        let (status, _) = request(&mut conn, "POST", "/sessions/bench/score", body);
+        assert_eq!(status, 200, "scoring request failed");
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let scored = (n_requests * per_request) as u64;
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| latencies_us[((latencies_us.len() - 1) as f64 * q) as usize];
+    let percentiles = Percentiles {
+        count: latencies_us.len() as u64,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        max: *latencies_us.last().unwrap(),
+    };
+
+    println!(
+        "serve_bench: {scored} records in {elapsed:.3}s over {n_requests} requests \
+         ({:.0} records/s; request p50 {:.0}us p99 {:.0}us)",
+        scored as f64 / elapsed,
+        percentiles.p50,
+        percentiles.p99
+    );
+
+    let report = handle.drain();
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    if let Some(path) = bench_json {
+        let mut bench = BenchReport::new("serve");
+        bench
+            .config("n_records", scored as f64)
+            .config("records_per_request", per_request as f64)
+            .config("n_requests", n_requests as f64)
+            .config("batch", 64.0)
+            .stage("serve.score", scored, elapsed)
+            .latency_us(percentiles);
+        std::fs::write(&path, bench.to_json()).expect("write bench json");
+        eprintln!("bench datapoint written to {path}");
+    }
+}
+
+/// One keep-alive HTTP request; returns `(status, body)`.
+fn request(conn: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, String) {
+    conn.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("request write");
+    // Head, byte-wise to the blank line; then exactly Content-Length bytes.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        assert_eq!(conn.read(&mut byte).expect("head read"), 1, "early EOF");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("utf8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric length"))
+        })
+        .expect("content-length header");
+    let mut payload = vec![0u8; length];
+    conn.read_exact(&mut payload).expect("body read");
+    (status, String::from_utf8(payload).expect("utf8 body"))
+}

@@ -6,6 +6,7 @@ pub mod baseline;
 pub mod detect;
 pub mod explain;
 pub mod score;
+pub mod serve;
 pub mod stream;
 
 use crate::args::{ArgError, Parsed, Spec};

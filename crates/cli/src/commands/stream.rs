@@ -11,11 +11,11 @@
 use super::parse_or_usage;
 use crate::args::Parsed;
 use crate::exit;
-use crate::json::{FieldChain, Json, JsonError};
 use crate::model_io;
 use crate::obs_setup::{self, ObsSession};
 use hdoutlier_obs as obs;
-use hdoutlier_stream::{Checkpoint, DriftReport, OnlineScorer, Verdict};
+use hdoutlier_stream::ndjson::{error_json, verdict_json};
+use hdoutlier_stream::{Checkpoint, OnlineScorer};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
@@ -634,49 +634,6 @@ fn parse_row(
             }
         })
         .collect()
-}
-
-/// One NDJSON error verdict — what skip/quarantine emit in place of a
-/// scoring verdict so downstream consumers see the gap in-band.
-fn error_json(line_no: usize, reason: &str, action: &str) -> Result<Json, JsonError> {
-    Json::object()
-        .field("line", line_no)
-        .field("error", reason)
-        .field("action", action)
-}
-
-/// One NDJSON verdict line.
-fn verdict_json(verdict: &Verdict, scorer: &OnlineScorer) -> Result<Json, JsonError> {
-    let projections: Vec<Json> = verdict
-        .matched
-        .iter()
-        .map(|&i| Json::from(scorer.model().projections()[i].projection.to_string()))
-        .collect();
-    let mut j = Json::object()
-        .field("record", verdict.index)
-        .field("outlier", verdict.outlier)
-        .field("score", verdict.score.map_or(Json::Null, Json::Number))
-        .field("projections", Json::Array(projections))?;
-    if let Some(report) = &verdict.drift {
-        j = j.field("drift", drift_json(report)?)?;
-    }
-    Ok(j)
-}
-
-fn drift_json(report: &DriftReport) -> Result<Json, JsonError> {
-    let p_values: Vec<Json> = report.p_values.iter().map(|&p| Json::Number(p)).collect();
-    Json::object()
-        .field("drifted", report.any_drift())
-        .field(
-            "drifted_dims",
-            report
-                .drifted_dims
-                .iter()
-                .map(|&d| Json::from(d))
-                .collect::<Vec<_>>(),
-        )
-        .field("alpha", report.alpha)
-        .field("p_values", Json::Array(p_values))
 }
 
 #[cfg(test)]

@@ -11,9 +11,9 @@
 //!   JSON value with writer and parser (the workspace builds hermetically
 //!   with no external dependencies; reports, model files, and checkpoints
 //!   are simple enough that escaping + nesting is all that is needed);
-//! - [`commands`]: the `detect`, `score`, `stream`, `explain`, `advise` and
-//!   `baseline` subcommands, returning their output as a string so tests
-//!   can assert on it;
+//! - [`commands`]: the `detect`, `score`, `stream`, `serve`, `explain`,
+//!   `advise` and `baseline` subcommands, returning their output as a
+//!   string so tests can assert on it;
 //! - [`obs_setup`]: the shared `--log-level` / `--log-json` /
 //!   `--metrics-out` observability flags and the metrics snapshot helpers.
 
@@ -44,6 +44,7 @@ COMMANDS:
     detect    find outliers in a CSV file via sparse-projection search
     score     score records against a model saved by `detect --save-model`
     stream    score CSV records from stdin one by one, emitting NDJSON verdicts
+    serve     host many concurrent scoring sessions over HTTP (NDJSON in/out)
     explain   rank every subspace view of one record by abnormality
     advise    recommend phi and k for a dataset size (the paper's Eq. 2)
     baseline  run a distance-based comparator (knn | lof | knorr-ng)
@@ -79,6 +80,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
             let stdin = std::io::stdin();
             commands::stream::run_streaming(rest, stdin.lock(), sink)
         }
+        "serve" => commands::serve::run(rest),
         "explain" => commands::explain::run_to(rest, sink),
         "advise" => emit(commands::advise::run(rest), sink),
         "baseline" => commands::baseline::run_to(rest, sink),

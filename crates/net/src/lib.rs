@@ -1,0 +1,615 @@
+#![warn(missing_docs)]
+
+//! A std-only HTTP/1.1 server shared by the hdoutlier serving surfaces.
+//!
+//! This crate hoists the network substrate out of the telemetry layer so
+//! serving *traffic* (the `hdoutlier serve` scoring API) is no longer
+//! coupled to serving *telemetry* (`/metrics` scrapes): both ride on the
+//! same [`Server`], each with its own handler. The workspace is hermetic —
+//! no crates.io — so everything here is `std::net` plus threads.
+//!
+//! What the server provides, and what its callers lean on:
+//!
+//! - **Bounded request parsing** ([`Request`]): request line, headers, and
+//!   an optional `Content-Length` body are read incrementally, tolerating
+//!   arbitrary packet boundaries (a client dribbling one byte at a time
+//!   parses identically to one that sends the whole request in one write).
+//!   Heads over [`ServerConfig::max_head_bytes`] answer `431`, bodies over
+//!   [`ServerConfig::max_body_bytes`] answer `413`, a body without a
+//!   length answers `411`, and anything malformed answers `400` — all
+//!   without allocating proportional to the hostile input.
+//! - **A bounded connection budget.** One accept thread pushes connections
+//!   onto a queue of depth [`ServerConfig::queue_depth`] drained by
+//!   [`ServerConfig::workers`] handler threads. A slow or stuck client
+//!   occupies one worker, not the listener: other connections keep being
+//!   answered. When every worker is busy *and* the queue is full, new
+//!   connections are refused with `503` instead of piling up unboundedly.
+//! - **Keep-alive semantics.** HTTP/1.1 connections persist by default
+//!   (`Connection: close` honored, `HTTP/1.0` closes unless asked to keep
+//!   alive), capped at [`ServerConfig::max_requests_per_connection`].
+//!   Telemetry callers set the cap to 1 to preserve scrape-and-close
+//!   behavior.
+//! - **Graceful drain.** [`Server::shutdown`] stops accepting (closing the
+//!   listener first), then lets in-flight and already-queued connections
+//!   finish their current request — with `Connection: close` forced on the
+//!   response — before joining every thread. Nothing in flight is dropped.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path with the query string stripped (`/sessions/a/score`).
+    pub path: String,
+    /// The query string after `?`, when one was sent (without the `?`).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names are lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the request was `HTTP/1.0` (keep-alive defaults off).
+    pub http1_0: bool,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    /// A short message when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, &'static str> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8")
+    }
+}
+
+/// One HTTP response: status, content type, body, optional extra headers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …). The reason phrase is derived.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/x-ndjson` response.
+    pub fn ndjson(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/x-ndjson".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The canonical reason phrase for a status code.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            100 => "Continue",
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handler threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// ones are refused with `503`.
+    pub queue_depth: usize,
+    /// Cap on request-head bytes (request line + headers); `431` beyond.
+    pub max_head_bytes: usize,
+    /// Cap on declared `Content-Length`; `413` beyond.
+    pub max_body_bytes: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Requests served per connection before it is closed; `1` disables
+    /// keep-alive entirely (scrape-and-close behavior).
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            max_requests_per_connection: 256,
+        }
+    }
+}
+
+/// Monotonic totals over a server's lifetime, readable while it runs.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later refused with `503`).
+    pub connections: AtomicU64,
+    /// Requests answered by the handler.
+    pub requests: AtomicU64,
+    /// Connections refused with `503` because the budget was exhausted.
+    pub rejected: AtomicU64,
+    /// Requests answered with a parse-level error (`400`/`411`/`413`/`431`).
+    pub bad_requests: AtomicU64,
+}
+
+/// The handler a [`Server`] routes every parsed request through.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Shared accept-queue state between the accept thread and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: AtomicBool,
+    config: ServerConfig,
+    handler: Arc<Handler>,
+    stats: Arc<ServerStats>,
+}
+
+/// A running HTTP server. [`Server::shutdown`] (or drop) drains and joins.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.worker_handles.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (port `0` picks an ephemeral port — read it back from
+    /// [`Server::local_addr`]) and starts accepting on a background thread,
+    /// handling connections on `config.workers` worker threads.
+    ///
+    /// # Errors
+    /// The bind or thread-spawn failure, untouched.
+    pub fn bind(addr: &str, config: ServerConfig, handler: Arc<Handler>) -> std::io::Result<Self> {
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(
+            config.max_requests_per_connection >= 1,
+            "a connection must be allowed at least one request"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            config,
+            handler,
+            stats: Arc::new(ServerStats::default()),
+        });
+        let mut worker_handles = Vec::with_capacity(shared.config.workers);
+        for n in 0..shared.config.workers {
+            let worker_shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("net-worker-{n}"))
+                    .spawn(move || worker_loop(&worker_shared))?,
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("net-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Lifetime totals (connections, requests, rejections).
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Graceful drain: closes the listener (no new connections), finishes
+    /// every in-flight and already-queued request, then joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept_handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a connection to ourselves. When the
+        // listener was bound to a wildcard address, connect via loopback.
+        let wake_ip = match self.addr.ip() {
+            ip if ip.is_unspecified() && ip.is_ipv4() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            ip if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            ip => ip,
+        };
+        let _ = TcpStream::connect_timeout(
+            &SocketAddr::new(wake_ip, self.addr.port()),
+            Duration::from_secs(2),
+        );
+        // The accept thread exits first, dropping the listener: the port is
+        // closed to new connections *before* in-flight work finishes —
+        // exactly the drain ordering the serve e2e asserts.
+        let _ = accept_handle.join();
+        self.shared.available.notify_all();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accepts connections and enqueues them within the budget.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // Request/response traffic is latency-bound, not bandwidth-bound:
+        // leave Nagle off so a response segment never waits for an ACK.
+        let _ = stream.set_nodelay(true);
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            // Refuse in-line rather than queueing unboundedly; the write is
+            // best-effort (a client that already gave up is not our problem).
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = write_response(
+                &mut stream,
+                &Response::text(503, "server is at its connection budget; retry\n"),
+                false,
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+/// One worker: pops connections and serves them until stop + empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        let stream = loop {
+            if let Some(stream) = queue.pop_front() {
+                break stream;
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Timed wait so a notify racing the lock never strands a worker.
+            let (guard, _) = shared
+                .available
+                .wait_timeout(queue, Duration::from_millis(200))
+                .expect("queue lock");
+            queue = guard;
+        };
+        drop(queue);
+        let mut stream = stream;
+        let _ = serve_connection(&mut stream, shared);
+    }
+}
+
+/// Outcome of reading one request off a connection.
+enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any request byte arrived (keep-alive close).
+    Closed,
+    /// The request was rejected at the parse level; answer with this
+    /// status/message and close the connection.
+    Reject(u16, &'static str),
+    /// I/O failed (timeout, reset); close silently.
+    Io,
+}
+
+/// Serves requests on one connection until close/limit/stop.
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.io_timeout))?;
+    stream.set_write_timeout(Some(shared.config.io_timeout))?;
+    let mut served = 0usize;
+    loop {
+        match read_request(stream, &shared.config) {
+            ReadOutcome::Request(request) => {
+                served += 1;
+                let response = (shared.handler)(&request);
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                // Keep-alive only when the client allows it, the per-
+                // connection budget has room, and the server is not draining.
+                let keep_alive = wants_keep_alive(&request)
+                    && served < shared.config.max_requests_per_connection
+                    && !shared.stop.load(Ordering::SeqCst);
+                write_response(stream, &response, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Reject(status, message) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = format!("{message}\n");
+                return write_response(stream, &Response::text(status, body), false);
+            }
+            ReadOutcome::Io => return Ok(()),
+        }
+    }
+}
+
+/// Whether the request's HTTP version + `Connection` header ask for
+/// keep-alive (HTTP/1.1 defaults on, HTTP/1.0 defaults off).
+fn wants_keep_alive(request: &Request) -> bool {
+    let connection = request
+        .header("connection")
+        .map(str::to_ascii_lowercase)
+        .unwrap_or_default();
+    if connection.split(',').any(|t| t.trim() == "close") {
+        return false;
+    }
+    if connection.split(',').any(|t| t.trim() == "keep-alive") {
+        return true;
+    }
+    // No Connection header: the version decides.
+    !request.http1_0
+}
+
+/// Incrementally reads one request (head + optional body) off the stream.
+/// Tolerates any packet fragmentation: reads repeat until the head's blank
+/// line, then until `Content-Length` bytes of body have arrived.
+fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // --- Head: read until CRLFCRLF (or LFLF), bounded. ---
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > config.max_head_bytes {
+            return ReadOutcome::Reject(431, "request head exceeds the configured limit");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return ReadOutcome::Closed;
+                }
+                return ReadOutcome::Reject(400, "connection closed mid-request-head");
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Io
+                } else {
+                    ReadOutcome::Reject(400, "timed out mid-request-head")
+                }
+            }
+        }
+    };
+    let (head_bytes, rest) = buf.split_at(head_end.text_end);
+    let Ok(head) = std::str::from_utf8(head_bytes) else {
+        return ReadOutcome::Reject(400, "request head is not valid UTF-8");
+    };
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Reject(400, "malformed request line");
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Reject(400, "malformed request line");
+    }
+    let http1_0 = version == "HTTP/1.0";
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Reject(400, "malformed header line");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    // --- Body: Content-Length bytes, bounded; chunked is not supported. ---
+    if header("transfer-encoding").is_some() {
+        return ReadOutcome::Reject(
+            411,
+            "chunked transfer encoding is not supported; send Content-Length",
+        );
+    }
+    let content_length = match header("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Reject(400, "Content-Length is not a number"),
+        },
+    };
+    if content_length > config.max_body_bytes {
+        return ReadOutcome::Reject(413, "request body exceeds the configured limit");
+    }
+    // A client that sent `Expect: 100-continue` (curl does for large
+    // bodies) is waiting for the go-ahead before transmitting the body.
+    if header("expect").map(str::to_ascii_lowercase).as_deref() == Some("100-continue")
+        && stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+    {
+        return ReadOutcome::Io;
+    }
+    let mut body: Vec<u8> = rest[head_end.skip..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Reject(400, "connection closed mid-body"),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return ReadOutcome::Reject(400, "timed out mid-body"),
+        }
+    }
+    if body.len() > content_length {
+        // Pipelined extra bytes are not supported; treat as malformed
+        // rather than silently mis-framing the next request.
+        return ReadOutcome::Reject(400, "more body bytes than Content-Length declared");
+    }
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+        http1_0,
+    })
+}
+
+/// Where a request head ends inside a buffer.
+struct HeadEnd {
+    /// Bytes of head text (request line + headers, without the blank line).
+    text_end: usize,
+    /// Bytes to skip past `text_end` to reach the body (the blank line).
+    skip: usize,
+}
+
+/// Finds the head-terminating blank line (`\r\n\r\n`, tolerating `\n\n`).
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    for i in 0..buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
+            return Some(HeadEnd {
+                text_end: i,
+                skip: 4,
+            });
+        }
+        if buf[i..].starts_with(b"\n\n") {
+            return Some(HeadEnd {
+                text_end: i,
+                skip: 2,
+            });
+        }
+    }
+    None
+}
+
+/// Writes one response with framing headers.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        Response::reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    // One write for head + body: two small writes on a Nagle-enabled socket
+    // would stall the second behind the peer's delayed ACK (~40ms per
+    // response), which dwarfs the scoring work itself.
+    let mut frame = Vec::with_capacity(header.len() + response.body.len());
+    frame.extend_from_slice(header.as_bytes());
+    frame.extend_from_slice(&response.body);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found_across_both_line_conventions() {
+        assert!(find_head_end(b"GET / HTTP/1.1").is_none());
+        let end = find_head_end(b"GET / HTTP/1.1\r\n\r\nBODY").unwrap();
+        assert_eq!(end.text_end, 14);
+        assert_eq!(end.skip, 4);
+        let end = find_head_end(b"GET / HTTP/1.1\n\nBODY").unwrap();
+        assert_eq!(end.text_end, 14);
+        assert_eq!(end.skip, 2);
+    }
+
+    #[test]
+    fn response_constructors_and_reasons() {
+        let r = Response::json(201, "{}");
+        assert_eq!(r.status, 201);
+        assert_eq!(r.content_type, "application/json");
+        assert_eq!(Response::reason(404), "Not Found");
+        assert_eq!(Response::reason(413), "Payload Too Large");
+        assert_eq!(Response::reason(777), "Response");
+        let r = Response::ndjson(200, "{}\n");
+        assert_eq!(r.content_type, "application/x-ndjson");
+        let r = Response::text(503, "busy");
+        assert_eq!(r.body, b"busy");
+    }
+}

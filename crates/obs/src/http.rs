@@ -1,6 +1,5 @@
-//! Live telemetry serving: a minimal HTTP/1.1 responder over
-//! `std::net::TcpListener`, good enough for a Prometheus scraper, a
-//! load-balancer health probe, and `curl`.
+//! Live telemetry serving, riding on the shared [`hdoutlier_net`] HTTP
+//! server.
 //!
 //! Endpoints:
 //!
@@ -9,65 +8,91 @@
 //! - `GET /snapshot` — the registry's NDJSON snapshot (same dialect as
 //!   `--metrics-out`)
 //!
-//! One background thread accepts and answers connections serially — scrape
-//! traffic is rare and tiny, and serial handling keeps the server free of
-//! pools and queues. Request parsing is bounded (first line only, 8 KiB
-//! cap, 2 s read timeout) so a stuck or hostile client cannot wedge the
-//! thread for long. Shutdown flips an `Arc<AtomicBool>` and then connects
-//! to the listener itself so the blocking `accept` wakes immediately.
+//! The HTTP mechanics (bounded request parsing, connection budget, worker
+//! threads, graceful drain) live in `hdoutlier-net`; this module is only
+//! the telemetry *routes*. [`telemetry_response`] is public so other
+//! servers — the `hdoutlier serve` scoring API — can mount the same three
+//! endpoints on their own listener and get `/metrics` for free.
+//!
+//! Connections are handled on a small worker pool with a bounded budget,
+//! so one slow or stuck client occupies one worker instead of wedging the
+//! accept loop: scrapes keep being answered beside it. Each response
+//! closes its connection (`max_requests_per_connection = 1`) — scrape
+//! clients open fresh connections per poll, and close-after-response keeps
+//! plain `read_to_string` consumers working.
 
 use crate::metrics::{refresh_process_metrics, Registry};
-use std::io::{Read, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use hdoutlier_net::{Request, Response, Server, ServerConfig};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Cap on buffered request bytes; everything after the request line is
-/// ignored anyway.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Routes one request against the telemetry endpoints. Returns `None` for
+/// paths this module does not own, so composing servers can try their own
+/// routes first and fall back here (or vice versa).
+pub fn telemetry_response(request: &Request, registry: &Registry) -> Option<Response> {
+    if !matches!(request.path.as_str(), "/metrics" | "/healthz" | "/snapshot") {
+        return None;
+    }
+    if request.method != "GET" {
+        return Some(Response::text(405, "only GET is supported\n"));
+    }
+    Some(match request.path.as_str() {
+        "/metrics" => {
+            refresh_process_metrics();
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                body: registry.render_prometheus().into_bytes(),
+            }
+        }
+        "/healthz" => Response::text(200, "ok\n"),
+        _ => {
+            refresh_process_metrics();
+            Response::ndjson(200, registry.snapshot_ndjson())
+        }
+    })
+}
 
-/// Per-connection read/write timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// The [`ServerConfig`] the telemetry endpoint uses: a couple of workers,
+/// a small connection budget, tight limits (scrape requests are tiny), and
+/// no keep-alive.
+pub fn telemetry_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        max_head_bytes: 8 * 1024,
+        max_body_bytes: 8 * 1024,
+        io_timeout: Duration::from_secs(2),
+        max_requests_per_connection: 1,
+    }
+}
 
 /// A running telemetry server. Dropping (or calling
-/// [`MetricsServer::shutdown`]) stops the background thread and joins it.
+/// [`MetricsServer::shutdown`]) stops the worker threads and joins them.
 #[derive(Debug)]
 pub struct MetricsServer {
+    server: Option<Server>,
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9184`; port `0` picks an ephemeral
     /// port — read it back from [`MetricsServer::local_addr`]) and starts
-    /// serving `registry` on a background thread.
+    /// serving `registry` on background threads.
     ///
     /// # Errors
     /// The bind or thread-spawn failure, untouched.
     pub fn serve(addr: &str, registry: &'static Registry) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("hdoutlier-telemetry".to_string())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if thread_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(mut stream) = conn {
-                        let _ = handle_connection(&mut stream, registry);
-                    }
-                }
-            })?;
+        let handler = Arc::new(move |request: &Request| {
+            telemetry_response(request, registry)
+                .unwrap_or_else(|| Response::text(404, "try /metrics, /healthz, or /snapshot\n"))
+        });
+        let server = Server::bind(addr, telemetry_config(), handler)?;
+        let addr = server.local_addr();
         Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
+            server: Some(server),
+            addr,
         })
     }
 
@@ -76,115 +101,19 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the serving thread.
+    /// Stops accepting, drains in-flight scrapes, and joins the threads.
     pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        let Some(handle) = self.handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a connection to ourselves. When the
-        // listener was bound to a wildcard address, connect via loopback.
-        let wake_ip = match self.addr.ip() {
-            ip if ip.is_unspecified() && ip.is_ipv4() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-            ip if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            ip => ip,
-        };
-        let _ = TcpStream::connect_timeout(&SocketAddr::new(wake_ip, self.addr.port()), IO_TIMEOUT);
-        let _ = handle.join();
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-/// Reads the request head (bounded) and writes one response.
-fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut buf = [0u8; MAX_REQUEST_BYTES];
-    let mut filled = 0usize;
-    // Read until the request line is complete (or the head ends, or the
-    // bound is hit): everything past the first CRLF is ignored.
-    while filled < buf.len() && !buf[..filled].contains(&b'\n') {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) => return Err(e),
+        if let Some(server) = self.server.take() {
+            server.shutdown();
         }
     }
-    let head = String::from_utf8_lossy(&buf[..filled]);
-    let request_line = head.lines().next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m, p),
-        _ => return respond(stream, 400, "Bad Request", "text/plain", "bad request\n"),
-    };
-    if method != "GET" {
-        return respond(
-            stream,
-            405,
-            "Method Not Allowed",
-            "text/plain",
-            "only GET is supported\n",
-        );
-    }
-    // Drop any query string; scrapers sometimes append one.
-    let path = path.split('?').next().unwrap_or(path);
-    match path {
-        "/metrics" => {
-            refresh_process_metrics();
-            let body = registry.render_prometheus();
-            respond(
-                stream,
-                200,
-                "OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
-        }
-        "/healthz" => respond(stream, 200, "OK", "text/plain", "ok\n"),
-        "/snapshot" => {
-            refresh_process_metrics();
-            let body = registry.snapshot_ndjson();
-            respond(stream, 200, "OK", "application/x-ndjson", &body)
-        }
-        _ => respond(
-            stream,
-            404,
-            "Not Found",
-            "text/plain",
-            "try /metrics, /healthz, or /snapshot\n",
-        ),
-    }
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    code: u16,
-    reason: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
 
     /// A private registry with `'static` lifetime for the serving thread.
     static TEST_REGISTRY: Registry = Registry::new();
@@ -253,5 +182,43 @@ mod tests {
         // out) rather than being accepted.
         let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
         assert!(refused.is_err(), "listener still accepting after drop");
+    }
+
+    #[test]
+    fn a_stalled_connection_does_not_block_scrapes() {
+        // Open a connection and send nothing: under the old serial-accept
+        // server this wedged every scrape behind the 2 s read timeout.
+        // With pooled workers the concurrent scrape answers immediately.
+        let server = MetricsServer::serve("127.0.0.1:0", &TEST_REGISTRY).expect("bind");
+        let addr = server.local_addr();
+        let _stalled = TcpStream::connect(addr).expect("stalled connect");
+        let start = std::time::Instant::now();
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "scrape waited {:?} behind a stalled connection",
+            start.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_response_composes_for_foreign_paths() {
+        let request = Request {
+            method: "GET".to_string(),
+            path: "/sessions".to_string(),
+            query: None,
+            headers: vec![],
+            body: vec![],
+            http1_0: false,
+        };
+        assert!(telemetry_response(&request, &TEST_REGISTRY).is_none());
+        let request = Request {
+            path: "/healthz".to_string(),
+            ..request
+        };
+        let response = telemetry_response(&request, &TEST_REGISTRY).expect("owned path");
+        assert_eq!(response.status, 200);
     }
 }

@@ -62,7 +62,7 @@ pub use dispatch::{
 };
 pub use event::{EventRecord, Field, Value};
 pub use expo::{escape_label_value, render_prometheus, sanitize_metric_name};
-pub use http::MetricsServer;
+pub use http::{telemetry_config, telemetry_response, MetricsServer};
 pub use level::{Level, ParseLevelError};
 pub use metrics::{
     refresh_process_metrics, registry, Counter, Gauge, Histogram, HistogramSnapshot,

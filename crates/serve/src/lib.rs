@@ -1,0 +1,489 @@
+#![warn(missing_docs)]
+
+//! `hdoutlier serve` — a long-running network scoring server hosting many
+//! concurrent sessions, each the serve-side twin of one `hdoutlier stream`
+//! process.
+//!
+//! The HTTP surface (over [`hdoutlier_net`]):
+//!
+//! - `POST /sessions` — create a session from a JSON config (inline model
+//!   or `model_path`, drift settings, batch size, error policy, checkpoint
+//!   cadence, `resume`); responds `201` with the session status document;
+//! - `POST /sessions/{id}/score` — NDJSON records in (one JSON array per
+//!   line, `null` = missing), NDJSON verdicts out, byte-identical to
+//!   `hdoutlier stream` over the same records because both transports call
+//!   the renderers in [`hdoutlier_stream::ndjson`] and the same
+//!   order-preserving `score_batch` discipline;
+//! - `GET /sessions` / `GET /sessions/{id}` — status documents;
+//! - `POST /sessions/{id}/checkpoint` — force an atomic checkpoint now;
+//! - `DELETE /sessions/{id}` — final checkpoint, then remove;
+//! - `POST /shutdown` — request a graceful drain (same effect as SIGTERM);
+//! - `GET /metrics` / `/healthz` / `/snapshot` — the shared telemetry
+//!   responder from [`hdoutlier_obs`].
+//!
+//! Sessions are isolated: each lives behind its own mutex, so concurrent
+//! score requests to different sessions proceed in parallel across the
+//! server's connection workers, and a tripped breaker, drift alert, or
+//! checkpoint failure in one session never leaks into another. Checkpoints
+//! use the stream crate's [`Checkpoint`](hdoutlier_stream::Checkpoint)
+//! file format, so a session checkpoint is also resumable by
+//! `hdoutlier stream --resume`.
+//!
+//! Graceful drain ([`ServeHandle::drain`]) stops accepting new work,
+//! lets in-flight requests finish (their batches flush through the normal
+//! request path), writes a final checkpoint for every session, and only
+//! then returns — the listener is closed before the process exits.
+
+pub mod session;
+pub mod signal;
+
+use hdoutlier_json::Json;
+use hdoutlier_net::{Request, Response, Server, ServerConfig};
+use hdoutlier_obs as obs;
+use session::{CreateError, Session, SessionConfig};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Event target for the serve subsystem.
+const TARGET: &str = "hdoutlier.serve";
+
+/// Tuning knobs for a scoring server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cap on live sessions; creates beyond it are refused with `503`.
+    pub max_sessions: usize,
+    /// Pool threads for each session's batched scoring.
+    pub threads: usize,
+    /// Directory for per-session checkpoint files (`<id>.ckpt.json`);
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// HTTP server tuning (workers, queue depth, body caps, timeouts).
+    pub http: ServerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 16,
+            threads: hdoutlier_pool::default_threads(),
+            checkpoint_dir: None,
+            http: ServerConfig::default(),
+        }
+    }
+}
+
+/// Metric handles resolved once at construction.
+struct ServeMetrics {
+    sessions: obs::Gauge,
+    requests: obs::Counter,
+    records: obs::Counter,
+    drains: obs::Counter,
+}
+
+impl ServeMetrics {
+    fn resolve() -> Self {
+        let r = obs::registry();
+        ServeMetrics {
+            sessions: r.gauge("hdoutlier.serve.sessions"),
+            requests: r.counter("hdoutlier.serve.requests"),
+            records: r.counter("hdoutlier.serve.records"),
+            drains: r.counter("hdoutlier.serve.drains"),
+        }
+    }
+}
+
+/// The session registry and request router — everything about the scoring
+/// server except the TCP listener (which [`ServeHandle`] adds).
+pub struct ServeApp {
+    config: ServeConfig,
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    metrics: ServeMetrics,
+}
+
+impl ServeApp {
+    /// Builds an app over a validated configuration.
+    pub fn new(config: ServeConfig) -> Arc<ServeApp> {
+        Arc::new(ServeApp {
+            config,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            metrics: ServeMetrics::resolve(),
+        })
+    }
+
+    /// The configuration the app was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Whether a drain has been requested (`POST /shutdown` or
+    /// [`ServeApp::request_shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: new sessions and score requests are
+    /// refused with `503` from this moment; the owner (the serve command's
+    /// wait loop) observes the flag and runs [`ServeHandle::drain`].
+    pub fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Live session ids, sorted.
+    pub fn session_ids(&self) -> Vec<String> {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Writes a final checkpoint for every session that has one configured.
+    /// Returns `(sessions, checkpointed, errors)`; write failures are
+    /// collected rather than aborting the drain (the other sessions still
+    /// deserve their checkpoints).
+    pub fn checkpoint_all(&self) -> (usize, usize, Vec<String>) {
+        let sessions: Vec<Arc<Mutex<Session>>> = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let total = sessions.len();
+        let mut checkpointed = 0usize;
+        let mut errors = Vec::new();
+        for session in sessions {
+            let session = session.lock().expect("session poisoned");
+            match session.checkpoint_if_configured() {
+                Ok(true) => checkpointed += 1,
+                Ok(false) => {}
+                Err(e) => errors.push(format!("session {}: {e}", session.id())),
+            }
+        }
+        (total, checkpointed, errors)
+    }
+
+    /// Routes one request. This is the [`hdoutlier_net::Handler`] body.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.metrics.requests.inc();
+        let path = request.path.as_str();
+        let method = request.method.as_str();
+        if let Some(rest) = path.strip_prefix("/sessions") {
+            return match (method, rest) {
+                ("POST", "" | "/") => self.create_session(request),
+                ("GET", "" | "/") => self.list_sessions(),
+                _ => {
+                    let Some(rest) = rest.strip_prefix('/') else {
+                        return error_response(404, &format!("no route for {method} {path}"));
+                    };
+                    let (id, action) = match rest.split_once('/') {
+                        None => (rest, None),
+                        Some((id, action)) => (id, Some(action)),
+                    };
+                    match (method, action) {
+                        ("POST", Some("score")) => self.score(id, request),
+                        ("POST", Some("checkpoint")) => self.checkpoint(id),
+                        ("GET", None) => self.status(id),
+                        ("DELETE", None) => self.delete(id),
+                        _ => error_response(404, &format!("no route for {method} {path}")),
+                    }
+                }
+            };
+        }
+        if path == "/shutdown" {
+            if method != "POST" {
+                return error_response(405, "use POST /shutdown");
+            }
+            self.request_shutdown();
+            obs::event(obs::Level::Info, TARGET, "shutdown_requested", &[]);
+            return Response::json(200, r#"{"draining":true}"#);
+        }
+        match obs::telemetry_response(request, obs::registry()) {
+            Some(response) => response,
+            None => error_response(404, &format!("no route for {method} {path}")),
+        }
+    }
+
+    /// `POST /sessions`.
+    fn create_session(&self, request: &Request) -> Response {
+        if self.shutdown_requested() {
+            return error_response(503, "server is draining");
+        }
+        let body = match request.body_utf8() {
+            Ok(b) => b,
+            Err(e) => return error_response(400, e),
+        };
+        let json = match Json::parse(body) {
+            Ok(j) => j,
+            Err(e) => return error_response(400, &format!("body is not valid JSON: {e}")),
+        };
+        let default_id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let read_model = |path: &str| {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read model_path {path}: {e}"))
+        };
+        let config = match SessionConfig::from_json(&json, default_id, &read_model) {
+            Ok(c) => c,
+            Err(e) => return error_response(400, &e),
+        };
+        let id = config.id.clone();
+        // Hold the registry lock across create so two concurrent creates of
+        // the same id cannot both pass the duplicate check; session
+        // construction is quick (the model is already parsed).
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        if sessions.len() >= self.config.max_sessions {
+            return error_response(
+                503,
+                &format!("session limit reached ({})", self.config.max_sessions),
+            );
+        }
+        if sessions.contains_key(&id) {
+            return error_response(409, &format!("session {id:?} already exists"));
+        }
+        let session = match Session::create(config, self.config.checkpoint_dir.as_deref()) {
+            Ok(s) => s,
+            Err(CreateError::Config(e)) => return error_response(400, &e),
+            Err(CreateError::Resume(e)) => return error_response(409, &e),
+            Err(CreateError::Io(e)) => return error_response(500, &e),
+        };
+        let status = match session.status_json() {
+            Ok(j) => j.render(),
+            Err(e) => return error_response(500, &e.to_string()),
+        };
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "session_created",
+            &[
+                ("records", obs::Value::U64(session.records_scored())),
+                ("sessions", obs::Value::U64(sessions.len() as u64 + 1)),
+            ],
+        );
+        sessions.insert(id, Arc::new(Mutex::new(session)));
+        self.metrics.sessions.set(sessions.len() as i64);
+        Response::json(201, status)
+    }
+
+    /// `GET /sessions`.
+    fn list_sessions(&self) -> Response {
+        let sessions: Vec<Arc<Mutex<Session>>> = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let mut items = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            match session.lock().expect("session poisoned").status_json() {
+                Ok(j) => items.push(j),
+                Err(e) => return error_response(500, &e.to_string()),
+            }
+        }
+        match Json::object().field("sessions", Json::Array(items)) {
+            Ok(j) => Response::json(200, j.render()),
+            Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// Clones the handle for one session, or `None`.
+    fn session(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// `POST /sessions/{id}/score`.
+    fn score(&self, id: &str, request: &Request) -> Response {
+        if self.shutdown_requested() {
+            return error_response(503, "server is draining");
+        }
+        let Some(session) = self.session(id) else {
+            return error_response(404, &format!("no session {id:?}"));
+        };
+        let body = match request.body_utf8() {
+            Ok(b) => b,
+            Err(e) => return error_response(400, e),
+        };
+        // The session lock is held for the whole request: scoring is
+        // stateful and order-defining. Other sessions are untouched — their
+        // requests run concurrently on other connection workers.
+        let mut session = session.lock().expect("session poisoned");
+        if let Some(reason) = session.tripped() {
+            return error_response(409, &format!("session tripped: {reason}"));
+        }
+        let outcome = session.score_lines(body, self.config.threads);
+        self.metrics.records.add(outcome.records);
+        if let Some(fatal) = outcome.fatal {
+            return error_response(500, &fatal);
+        }
+        if outcome.tripped.is_some() {
+            obs::event(
+                obs::Level::Warn,
+                TARGET,
+                "session_tripped",
+                &[("records", obs::Value::U64(session.records_scored()))],
+            );
+            // The verdicts computed before the trip are still delivered —
+            // they are exactly what `stream` would have written before
+            // aborting — under a conflict status so the client knows the
+            // stream ended early. The reason rides in the status document.
+            return Response::ndjson(409, outcome.ndjson);
+        }
+        Response::ndjson(200, outcome.ndjson)
+    }
+
+    /// `GET /sessions/{id}`.
+    fn status(&self, id: &str) -> Response {
+        let Some(session) = self.session(id) else {
+            return error_response(404, &format!("no session {id:?}"));
+        };
+        let session = session.lock().expect("session poisoned");
+        match session.status_json() {
+            Ok(j) => Response::json(200, j.render()),
+            Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// `POST /sessions/{id}/checkpoint`.
+    fn checkpoint(&self, id: &str) -> Response {
+        let Some(session) = self.session(id) else {
+            return error_response(404, &format!("no session {id:?}"));
+        };
+        let session = session.lock().expect("session poisoned");
+        match session.checkpoint_now() {
+            Err(e) if e.contains("checkpoint directory") => error_response(400, &e),
+            Err(e) => error_response(500, &e),
+            Ok(path) => {
+                let body = Json::object()
+                    .field("checkpoint", path.display().to_string())
+                    .and_then(|j| j.field("records_scored", session.records_scored()));
+                match body {
+                    Ok(j) => Response::json(200, j.render()),
+                    Err(e) => error_response(500, &e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// `DELETE /sessions/{id}` — final checkpoint, then removal.
+    fn delete(&self, id: &str) -> Response {
+        let Some(session) = self.session(id) else {
+            return error_response(404, &format!("no session {id:?}"));
+        };
+        {
+            let session = session.lock().expect("session poisoned");
+            if let Err(e) = session.checkpoint_if_configured() {
+                return error_response(500, &e);
+            }
+        }
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        sessions.remove(id);
+        self.metrics.sessions.set(sessions.len() as i64);
+        drop(sessions);
+        let session = session.lock().expect("session poisoned");
+        match session.status_json() {
+            Ok(j) => Response::json(200, j.render()),
+            Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+}
+
+/// What a graceful drain accomplished.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Sessions live at drain time.
+    pub sessions: usize,
+    /// Sessions that wrote a final checkpoint.
+    pub checkpointed: usize,
+    /// Checkpoint failures (the drain completes regardless).
+    pub errors: Vec<String>,
+}
+
+/// A running scoring server: the app plus its TCP listener.
+pub struct ServeHandle {
+    server: Server,
+    app: Arc<ServeApp>,
+}
+
+impl ServeHandle {
+    /// Binds the server and starts accepting. `addr` may use port `0` for
+    /// an ephemeral port; read it back with [`ServeHandle::local_addr`].
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<ServeHandle> {
+        let http = config.http.clone();
+        let app = ServeApp::new(config);
+        let handler_app = Arc::clone(&app);
+        let server = Server::bind(
+            addr,
+            http,
+            Arc::new(move |request: &Request| handler_app.handle(request)),
+        )?;
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "listening",
+            &[("sessions", obs::Value::U64(0))],
+        );
+        Ok(ServeHandle { server, app })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The session registry/router, shared with the running server.
+    pub fn app(&self) -> &Arc<ServeApp> {
+        &self.app
+    }
+
+    /// Graceful drain: refuse new work, close the listener, let in-flight
+    /// requests finish (flushing their batches through the normal request
+    /// path), then write a final checkpoint for every session. Only after
+    /// all of that does this return — the caller exits with the listener
+    /// already closed and every session durable.
+    pub fn drain(self) -> DrainReport {
+        self.app.request_shutdown();
+        // Stops accepting first (the listener closes), then joins the
+        // connection workers — in-flight score requests complete and their
+        // responses are written before this returns.
+        self.server.shutdown();
+        let (sessions, checkpointed, errors) = self.app.checkpoint_all();
+        self.app.metrics.drains.inc();
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "drained",
+            &[
+                ("sessions", obs::Value::U64(sessions as u64)),
+                ("checkpointed", obs::Value::U64(checkpointed as u64)),
+            ],
+        );
+        DrainReport {
+            sessions,
+            checkpointed,
+            errors,
+        }
+    }
+}
+
+/// An error document: `{"error": "<msg>"}` with the given status.
+fn error_response(status: u16, message: &str) -> Response {
+    let body = Json::object()
+        .field("error", message)
+        .map(|j| j.render())
+        .unwrap_or_else(|_| r#"{"error":"internal error"}"#.to_string());
+    Response::json(status, body)
+}

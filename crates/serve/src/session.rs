@@ -1,0 +1,571 @@
+//! One scoring session: a model, its online-scorer state, and the
+//! request-scoped scoring loop.
+//!
+//! A session is the serve-side twin of one `hdoutlier stream` process. It
+//! owns everything that process would: an [`OnlineScorer`] (drift monitor
+//! included), an error policy with a consecutive-failure breaker, skip and
+//! quarantine totals, a persistent line counter, and an optional checkpoint
+//! cadence. Nothing here is shared between sessions — a tripped breaker,
+//! a drifted grid, or a checkpoint failure in one session is invisible to
+//! every other.
+//!
+//! [`Session::score_lines`] mirrors the CLI stream loop exactly — same
+//! batch discipline (pooled read-only scoring, serial in-order apply), same
+//! policy ladder at each failure point, same checkpoint cadence, and the
+//! same NDJSON renderers ([`hdoutlier_stream::ndjson`]) — which is what
+//! makes a session's verdict stream byte-identical to `hdoutlier stream`
+//! run over the same records.
+
+use hdoutlier_json::{FieldChain, Json, JsonError};
+use hdoutlier_stream::ndjson::{error_json, verdict_json};
+use hdoutlier_stream::{Checkpoint, OnlineScorer, Verdict};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// What to do with a record that cannot be parsed or scored — the same
+/// ladder as the CLI's `--on-error`.
+#[derive(Debug, Clone)]
+pub enum ErrorPolicy {
+    /// Trip the session on the first bad record (the default).
+    Abort,
+    /// Emit an NDJSON error verdict and keep scoring.
+    Skip,
+    /// Like skip, and also append the raw line to the file at this path.
+    Quarantine(String),
+}
+
+impl ErrorPolicy {
+    /// Parses the `on_error` config value (`abort`, `skip`,
+    /// `quarantine:<path>`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "abort" => Ok(ErrorPolicy::Abort),
+            "skip" => Ok(ErrorPolicy::Skip),
+            other => match other.strip_prefix("quarantine:") {
+                Some(path) if !path.is_empty() => Ok(ErrorPolicy::Quarantine(path.to_string())),
+                _ => Err(format!(
+                    "on_error must be abort|skip|quarantine:<path>, got {spec:?}"
+                )),
+            },
+        }
+    }
+
+    /// The `action` string written into error verdicts.
+    pub fn action(&self) -> &'static str {
+        match self {
+            ErrorPolicy::Abort => "abort",
+            ErrorPolicy::Skip => "skip",
+            ErrorPolicy::Quarantine(_) => "quarantine",
+        }
+    }
+}
+
+/// Validated configuration for one session, parsed from the
+/// `POST /sessions` body by [`SessionConfig::from_json`].
+pub struct SessionConfig {
+    /// Session identifier (path segment, checkpoint filename stem).
+    pub id: String,
+    /// The fitted model this session scores against.
+    pub model: hdoutlier_core::FittedModel,
+    /// Drift-test significance override (`None` keeps the scorer default
+    /// or, on resume, the checkpointed value).
+    pub drift_alpha: Option<f64>,
+    /// Drift-check cadence override.
+    pub drift_every: Option<u64>,
+    /// Records per pooled `score_batch` call (`1` = record-at-a-time).
+    pub batch: usize,
+    /// Emit only outlier (and cadence-drift) verdicts.
+    pub outliers_only: bool,
+    /// Bad-record policy.
+    pub policy: ErrorPolicy,
+    /// Consecutive-failure circuit breaker threshold.
+    pub max_consecutive: u64,
+    /// Records between automatic checkpoints (when the server has a
+    /// checkpoint directory).
+    pub checkpoint_every: u64,
+    /// Restore state from an existing checkpoint file when one is present.
+    pub resume: bool,
+}
+
+impl SessionConfig {
+    /// Parses and validates a `POST /sessions` body. `default_id` is used
+    /// when the body does not name the session; `read_model_path` loads
+    /// `model_path` references (injected so tests can run hermetically).
+    pub fn from_json(
+        body: &Json,
+        default_id: String,
+        read_model_path: &dyn Fn(&str) -> Result<String, String>,
+    ) -> Result<Self, String> {
+        let id = match body.get("id") {
+            None => default_id,
+            Some(j) => j
+                .as_str()
+                .map(str::to_string)
+                .ok_or("id must be a string")?,
+        };
+        if id.is_empty()
+            || id.len() > 64
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "id must be 1-64 characters of [A-Za-z0-9_-], got {id:?}"
+            ));
+        }
+        let model = match (body.get("model"), body.get("model_path")) {
+            (Some(inline), None) => {
+                hdoutlier_stream::model_io::from_json(inline).map_err(|e| format!("model: {e}"))?
+            }
+            (None, Some(path)) => {
+                let path = path.as_str().ok_or("model_path must be a string")?;
+                let text = read_model_path(path)?;
+                hdoutlier_stream::model_io::from_json_text(&text)
+                    .map_err(|e| format!("model_path {path}: {e}"))?
+            }
+            (Some(_), Some(_)) => return Err("give model or model_path, not both".into()),
+            (None, None) => return Err("a model is required (model or model_path)".into()),
+        };
+        let number = |key: &str| -> Result<Option<f64>, String> {
+            match body.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_number()
+                    .map(Some)
+                    .ok_or(format!("{key} must be a number")),
+            }
+        };
+        let count = |key: &str, default: u64| -> Result<u64, String> {
+            match number(key)? {
+                None => Ok(default),
+                Some(v) if v >= 1.0 && v.fract() == 0.0 => Ok(v as u64),
+                Some(v) => Err(format!("{key} must be a positive integer, got {v}")),
+            }
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            match body.get(key) {
+                None => Ok(false),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(format!("{key} must be a boolean")),
+            }
+        };
+        let drift_every = match number("drift_every")? {
+            None => None,
+            Some(v) if v >= 1.0 && v.fract() == 0.0 => Some(v as u64),
+            Some(v) => return Err(format!("drift_every must be a positive integer, got {v}")),
+        };
+        let policy = match body.get("on_error") {
+            None => ErrorPolicy::Abort,
+            Some(j) => ErrorPolicy::parse(j.as_str().ok_or("on_error must be a string")?)?,
+        };
+        Ok(SessionConfig {
+            id,
+            model,
+            drift_alpha: number("drift_alpha")?,
+            drift_every,
+            batch: count("batch", 1)? as usize,
+            outliers_only: flag("outliers_only")?,
+            policy,
+            max_consecutive: count("max_consecutive_errors", 100)?,
+            checkpoint_every: count("checkpoint_every", 1000)?,
+            resume: flag("resume")?,
+        })
+    }
+}
+
+/// Why creating a session failed, mapped to an HTTP status by the router.
+#[derive(Debug)]
+pub enum CreateError {
+    /// The configuration is invalid (`400`).
+    Config(String),
+    /// A checkpoint exists but does not fit the model (`409`).
+    Resume(String),
+    /// Filesystem failure reading state (`500`).
+    Io(String),
+}
+
+impl std::fmt::Display for CreateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreateError::Config(m) | CreateError::Resume(m) | CreateError::Io(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
+
+/// How one `score_lines` call ended.
+pub struct ScoreOutcome {
+    /// The NDJSON verdict stream (possibly partial when `tripped`).
+    pub ndjson: String,
+    /// Records scored by this call (metrics fodder).
+    pub records: u64,
+    /// Set when the abort policy or the breaker tripped mid-request; the
+    /// session refuses further scoring until deleted.
+    pub tripped: Option<String>,
+    /// Set on an environmental failure (checkpoint write, quarantine
+    /// append); the session stays usable.
+    pub fatal: Option<String>,
+}
+
+/// Control flow inside the scoring loop.
+enum Stop {
+    /// Policy/breaker trip: stop scoring, poison the session.
+    Tripped(String),
+    /// Environmental failure: stop scoring, keep the session.
+    Fatal(String),
+}
+
+/// One live scoring session.
+pub struct Session {
+    id: String,
+    scorer: OnlineScorer,
+    batch: usize,
+    outliers_only: bool,
+    policy: ErrorPolicy,
+    max_consecutive: u64,
+    consecutive_errors: u64,
+    skipped: u64,
+    quarantined: u64,
+    /// 1-based input line counter, persistent across requests (and across
+    /// restarts via resume) so error verdicts number lines exactly as one
+    /// continuous `stream` run would.
+    line_no: u64,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    tripped: Option<String>,
+    resumed: bool,
+}
+
+impl Session {
+    /// Builds a session from validated config, restoring checkpointed state
+    /// when `resume` is set and `<dir>/<id>.ckpt.json` exists.
+    pub fn create(
+        config: SessionConfig,
+        checkpoint_dir: Option<&Path>,
+    ) -> Result<Session, CreateError> {
+        let mut scorer = OnlineScorer::new(config.model)
+            .map_err(|e| CreateError::Config(format!("model unusable for streaming: {e}")))?;
+        let checkpoint_path = checkpoint_dir.map(|d| d.join(format!("{}.ckpt.json", config.id)));
+        let mut skipped = 0u64;
+        let mut quarantined = 0u64;
+        let mut resumed = false;
+        if config.resume {
+            if let Some(path) = checkpoint_path.as_deref().filter(|p| p.exists()) {
+                let cp = Checkpoint::load(path).map_err(|e| {
+                    CreateError::Io(format!("cannot resume from {}: {e}", path.display()))
+                })?;
+                cp.restore(&mut scorer).map_err(|e| {
+                    CreateError::Resume(format!("cannot resume from {}: {e}", path.display()))
+                })?;
+                skipped = cp.skipped;
+                quarantined = cp.quarantined;
+                resumed = true;
+            }
+        }
+        // Explicit drift settings override the checkpointed ones — the same
+        // precedence as `stream --resume --drift-every`.
+        if let Some(alpha) = config.drift_alpha {
+            scorer
+                .set_drift_alpha(alpha)
+                .map_err(|e| CreateError::Config(e.to_string()))?;
+        }
+        if let Some(every) = config.drift_every {
+            scorer
+                .set_check_every(every)
+                .map_err(|e| CreateError::Config(e.to_string()))?;
+        }
+        let line_no = scorer.records_scored() + skipped + quarantined;
+        Ok(Session {
+            id: config.id,
+            scorer,
+            batch: config.batch.max(1),
+            outliers_only: config.outliers_only,
+            policy: config.policy,
+            max_consecutive: config.max_consecutive,
+            consecutive_errors: 0,
+            skipped,
+            quarantined,
+            line_no,
+            checkpoint_path,
+            checkpoint_every: config.checkpoint_every,
+            tripped: None,
+            resumed,
+        })
+    }
+
+    /// The session identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The trip reason, when the abort policy or breaker fired.
+    pub fn tripped(&self) -> Option<&str> {
+        self.tripped.as_deref()
+    }
+
+    /// Records scored over the session's lifetime (including resumed state).
+    pub fn records_scored(&self) -> u64 {
+        self.scorer.records_scored()
+    }
+
+    /// Scores one request body of NDJSON records (one JSON array of
+    /// numbers/nulls per line; `null` is a missing value). Verdicts are
+    /// appended to the outcome in arrival order — the same order, and the
+    /// same bytes, as `hdoutlier stream` would write for these records.
+    pub fn score_lines(&mut self, body: &str, threads: usize) -> ScoreOutcome {
+        let n_dims = self.scorer.model().grid().n_dims();
+        let mut out = String::new();
+        let mut records = 0u64;
+        let mut pending: Vec<(u64, String, Vec<f64>)> = Vec::new();
+
+        let mut run = || -> Result<(), Stop> {
+            for line in body.lines() {
+                self.line_no += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let row = match parse_record_line(line, n_dims) {
+                    Ok(row) => row,
+                    Err(msg) => {
+                        // Drain buffered records first so the error verdict
+                        // lands at its arrival position in the output.
+                        self.flush_batch(&mut pending, threads, &mut out, &mut records)?;
+                        self.record_error(self.line_no, &msg, Some(line), &mut out)?;
+                        continue;
+                    }
+                };
+                if self.batch > 1 {
+                    pending.push((self.line_no, line.to_string(), row));
+                    if pending.len() >= self.batch {
+                        self.flush_batch(&mut pending, threads, &mut out, &mut records)?;
+                    }
+                    continue;
+                }
+                match self.scorer.score_record(&row) {
+                    Ok(verdict) => self.emit_verdict(&verdict, &mut out, &mut records)?,
+                    Err(e) => {
+                        self.record_error(self.line_no, &e.to_string(), Some(line), &mut out)?
+                    }
+                }
+            }
+            // Score any partial batch left at end-of-body so the response
+            // is complete and state is consistent before it is sent.
+            self.flush_batch(&mut pending, threads, &mut out, &mut records)
+        };
+        match run() {
+            Ok(()) => ScoreOutcome {
+                ndjson: out,
+                records,
+                tripped: None,
+                fatal: None,
+            },
+            Err(Stop::Tripped(reason)) => {
+                self.tripped = Some(reason.clone());
+                ScoreOutcome {
+                    ndjson: out,
+                    records,
+                    tripped: Some(reason),
+                    fatal: None,
+                }
+            }
+            Err(Stop::Fatal(reason)) => ScoreOutcome {
+                ndjson: out,
+                records,
+                tripped: None,
+                fatal: Some(reason),
+            },
+        }
+    }
+
+    /// Scores everything buffered in `pending` with one pooled call, then
+    /// emits the verdicts in arrival order.
+    fn flush_batch(
+        &mut self,
+        pending: &mut Vec<(u64, String, Vec<f64>)>,
+        threads: usize,
+        out: &mut String,
+        records: &mut u64,
+    ) -> Result<(), Stop> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let rows: Vec<Vec<f64>> = pending.iter().map(|(_, _, r)| r.clone()).collect();
+        let results = self.scorer.score_batch(&rows, threads);
+        for ((line_no, raw, _), result) in pending.drain(..).zip(results) {
+            match result {
+                Ok(verdict) => self.emit_verdict(&verdict, out, records)?,
+                Err(e) => self.record_error(line_no, &e.to_string(), Some(&raw), out)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders one scoring verdict and runs the checkpoint cadence.
+    fn emit_verdict(
+        &mut self,
+        verdict: &Verdict,
+        out: &mut String,
+        records: &mut u64,
+    ) -> Result<(), Stop> {
+        self.consecutive_errors = 0;
+        *records += 1;
+        if !(self.outliers_only && !verdict.outlier && verdict.drift.is_none()) {
+            let rendered = verdict_json(verdict, &self.scorer)
+                .map_err(|e| Stop::Fatal(format!("line {}: {e}", self.line_no)))?
+                .render();
+            out.push_str(&rendered);
+            out.push('\n');
+        }
+        if let Some(path) = self.checkpoint_path.clone() {
+            if self
+                .scorer
+                .records_scored()
+                .is_multiple_of(self.checkpoint_every)
+            {
+                self.save_checkpoint(&path).map_err(Stop::Fatal)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The skip/quarantine/abort ladder, shared by every failure point.
+    fn record_error(
+        &mut self,
+        line_no: u64,
+        reason: &str,
+        raw: Option<&str>,
+        out: &mut String,
+    ) -> Result<(), Stop> {
+        self.consecutive_errors += 1;
+        if matches!(self.policy, ErrorPolicy::Abort) {
+            return Err(Stop::Tripped(format!("line {line_no}: {reason}")));
+        }
+        if self.consecutive_errors > self.max_consecutive {
+            return Err(Stop::Tripped(format!(
+                "line {line_no}: {reason} ({} consecutive bad records exceed \
+                 max_consecutive_errors {}; session tripped)",
+                self.consecutive_errors, self.max_consecutive
+            )));
+        }
+        if let ErrorPolicy::Quarantine(path) = &self.policy {
+            if let Some(raw) = raw {
+                let append = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| writeln!(f, "{raw}"));
+                if let Err(e) = append {
+                    return Err(Stop::Fatal(format!(
+                        "failed to quarantine line {line_no} to {path}: {e}"
+                    )));
+                }
+            }
+            self.quarantined += 1;
+        } else {
+            self.skipped += 1;
+        }
+        let rendered = error_json(line_no as usize, reason, self.policy.action())
+            .map_err(|e| Stop::Fatal(format!("line {line_no}: {e}")))?
+            .render();
+        out.push_str(&rendered);
+        out.push('\n');
+        Ok(())
+    }
+
+    /// Writes the session's current state to `path` atomically.
+    fn save_checkpoint(&self, path: &Path) -> Result<(), String> {
+        Checkpoint::capture(&self.scorer, self.skipped, self.quarantined)
+            .save_atomic(path)
+            .map_err(|e| format!("failed to checkpoint to {}: {e}", path.display()))
+    }
+
+    /// Forces a checkpoint now, returning the path written.
+    ///
+    /// # Errors
+    /// A message when no checkpoint directory is configured or the write
+    /// fails.
+    pub fn checkpoint_now(&self) -> Result<PathBuf, String> {
+        let path = self
+            .checkpoint_path
+            .clone()
+            .ok_or("server has no checkpoint directory (--checkpoint-dir)")?;
+        self.save_checkpoint(&path)?;
+        Ok(path)
+    }
+
+    /// Final checkpoint for drain/delete: a no-op `Ok(false)` when the
+    /// server has no checkpoint directory.
+    pub fn checkpoint_if_configured(&self) -> Result<bool, String> {
+        match &self.checkpoint_path {
+            None => Ok(false),
+            Some(path) => self.save_checkpoint(path).map(|()| true),
+        }
+    }
+
+    /// The session's status document (`GET /sessions/{id}`).
+    ///
+    /// # Errors
+    /// [`JsonError`] on builder misuse (not reachable).
+    pub fn status_json(&self) -> Result<Json, JsonError> {
+        let monitor = self.scorer.monitor();
+        Json::object()
+            .field("id", self.id.as_str())
+            .field("records_scored", self.scorer.records_scored())
+            .field("outliers", self.scorer.outliers_flagged())
+            .field("skipped", self.skipped)
+            .field("quarantined", self.quarantined)
+            .field("line_no", self.line_no)
+            .field(
+                "tripped",
+                self.tripped
+                    .as_deref()
+                    .map_or(Json::Null, |r| Json::String(r.to_string())),
+            )
+            .field("resumed", self.resumed)
+            .field("batch", self.batch)
+            .field("outliers_only", self.outliers_only)
+            .field("on_error", self.policy.action())
+            .field(
+                "drift",
+                Json::object()
+                    .field("alpha", self.scorer.drift_alpha())
+                    .field("check_every", self.scorer.check_every())
+                    .field("records_observed", monitor.records_observed())?,
+            )
+            .field(
+                "checkpoint",
+                match &self.checkpoint_path {
+                    None => Json::Null,
+                    Some(path) => Json::object()
+                        .field("path", path.display().to_string())
+                        .field("every", self.checkpoint_every)?,
+                },
+            )
+    }
+}
+
+/// Parses one NDJSON record line — a JSON array of `n_dims` numbers, with
+/// `null` standing for a missing value (NaN), mirroring the CSV reader's
+/// missing markers.
+pub fn parse_record_line(line: &str, n_dims: usize) -> Result<Vec<f64>, String> {
+    let json = Json::parse(line).map_err(|e| format!("malformed record: {e}"))?;
+    let fields = json
+        .as_array()
+        .ok_or("record must be a JSON array of numbers")?;
+    if fields.len() != n_dims {
+        return Err(format!(
+            "expected {n_dims} fields (the model's dimensionality), got {}",
+            fields.len()
+        ));
+    }
+    fields
+        .iter()
+        .map(|f| match f {
+            Json::Null => Ok(f64::NAN),
+            other => other
+                .as_number()
+                .ok_or_else(|| format!("record fields must be numbers or null, got {other:?}")),
+        })
+        .collect()
+}

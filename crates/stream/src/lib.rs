@@ -25,14 +25,25 @@
 //!   resumes where it left off instead of silently resetting drift
 //!   statistics.
 
+//!
+//! Two deployment-surface companions also live here so the CLI `stream`
+//! subcommand and the `hdoutlier serve` network server share one
+//! implementation: [`model_io`] (JSON persistence of fitted models) and
+//! [`ndjson`] (the NDJSON verdict wire format — the serve path's
+//! byte-identical-to-`stream` guarantee rests on both transports calling
+//! the same renderer).
+
 pub mod checkpoint;
 pub mod drift;
+pub mod model_io;
+pub mod ndjson;
 pub mod scorer;
 pub mod sketch;
 pub mod window;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use drift::{DriftMonitor, DriftReport};
+pub use model_io::ModelIoError;
 pub use scorer::{OnlineScorer, Verdict};
 pub use sketch::{GkSketch, StreamingDiscretizer};
 pub use window::WindowCounter;

@@ -1,0 +1,124 @@
+//! The NDJSON verdict wire format.
+//!
+//! One rendering, two transports: the `hdoutlier stream` subcommand writes
+//! these lines to stdout, and the `hdoutlier serve` scoring server writes
+//! the *same* lines into HTTP response bodies. Keeping the renderer here —
+//! next to the [`Verdict`] it serializes — is what makes the serve path's
+//! "byte-identical to `stream`" guarantee a matter of construction rather
+//! than of keeping two copies in sync.
+//!
+//! Line shapes:
+//!
+//! - scoring verdict: `{"record":N,"outlier":bool,"score":x|null,
+//!   "projections":[...]}` plus a `"drift"` object on cadence records;
+//! - error verdict (skip/quarantine policies): `{"line":N,"error":"...",
+//!   "action":"skip|quarantine|abort"}`.
+
+use crate::drift::DriftReport;
+use crate::scorer::{OnlineScorer, Verdict};
+use hdoutlier_json::{FieldChain, Json, JsonError};
+
+/// One NDJSON scoring verdict line.
+///
+/// # Errors
+/// [`JsonError`] on builder misuse (not reachable from a well-formed
+/// verdict).
+pub fn verdict_json(verdict: &Verdict, scorer: &OnlineScorer) -> Result<Json, JsonError> {
+    let projections: Vec<Json> = verdict
+        .matched
+        .iter()
+        .map(|&i| Json::from(scorer.model().projections()[i].projection.to_string()))
+        .collect();
+    let mut j = Json::object()
+        .field("record", verdict.index)
+        .field("outlier", verdict.outlier)
+        .field("score", verdict.score.map_or(Json::Null, Json::Number))
+        .field("projections", Json::Array(projections))?;
+    if let Some(report) = &verdict.drift {
+        j = j.field("drift", drift_json(report)?)?;
+    }
+    Ok(j)
+}
+
+/// One NDJSON error verdict — what the skip/quarantine policies emit in
+/// place of a scoring verdict so downstream consumers see the gap in-band.
+///
+/// # Errors
+/// [`JsonError`] on builder misuse (not reachable).
+pub fn error_json(line_no: usize, reason: &str, action: &str) -> Result<Json, JsonError> {
+    Json::object()
+        .field("line", line_no)
+        .field("error", reason)
+        .field("action", action)
+}
+
+/// The `"drift"` object attached to cadence-record verdicts.
+///
+/// # Errors
+/// [`JsonError`] on builder misuse (not reachable).
+pub fn drift_json(report: &DriftReport) -> Result<Json, JsonError> {
+    let p_values: Vec<Json> = report.p_values.iter().map(|&p| Json::Number(p)).collect();
+    Json::object()
+        .field("drifted", report.any_drift())
+        .field(
+            "drifted_dims",
+            report
+                .drifted_dims
+                .iter()
+                .map(|&d| Json::from(d))
+                .collect::<Vec<_>>(),
+        )
+        .field("alpha", report.alpha)
+        .field("p_values", Json::Array(p_values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoutlier_core::{OutlierDetector, SearchMethod};
+    use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+
+    #[test]
+    fn verdict_lines_have_the_documented_shape() {
+        let planted = planted_outliers(&PlantedConfig {
+            n_rows: 500,
+            n_dims: 6,
+            n_outliers: 3,
+            strong_groups: Some(2),
+            seed: 23,
+            ..PlantedConfig::default()
+        });
+        let model = OutlierDetector::builder()
+            .phi(4)
+            .k(2)
+            .m(5)
+            .search(SearchMethod::BruteForce)
+            .build()
+            .fit(&planted.dataset)
+            .unwrap();
+        let mut scorer = OnlineScorer::new(model).unwrap();
+        scorer.set_check_every(100).unwrap();
+        let mut saw_drift = false;
+        for i in 0..120 {
+            let v = scorer.score_record(planted.dataset.row(i)).unwrap();
+            let line = verdict_json(&v, &scorer).unwrap().render();
+            let j = Json::parse(&line).unwrap();
+            assert_eq!(j.get("record").and_then(Json::as_number), Some(i as f64));
+            assert!(j.get("outlier").is_some(), "{line}");
+            assert!(j.get("score").is_some(), "{line}");
+            assert!(j.get("projections").and_then(Json::as_array).is_some());
+            if j.get("drift").is_some() {
+                saw_drift = true;
+                let d = j.get("drift").unwrap();
+                assert!(d.get("drifted").is_some(), "{line}");
+                assert!(d.get("p_values").and_then(Json::as_array).is_some());
+            }
+        }
+        assert!(saw_drift, "cadence record carries a drift object");
+
+        let err = error_json(7, "bad row", "skip").unwrap().render();
+        let j = Json::parse(&err).unwrap();
+        assert_eq!(j.get("line").and_then(Json::as_number), Some(7.0));
+        assert_eq!(j.get("action").and_then(Json::as_str), Some("skip"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Talking to `hdoutlier serve` from a client: create a session, stream
+//! NDJSON records at it, read verdicts back, checkpoint, and drain.
+//!
+//! ```text
+//! cargo run --example serve_client
+//! ```
+//!
+//! The example is self-contained: it fits a small model, boots the serving
+//! stack in-process on an ephemeral loopback port, and then speaks to it
+//! the way any external client would — plain HTTP/1.1 over TCP, no client
+//! library. Point the same code at a real `hdoutlier serve` process and it
+//! works unchanged.
+
+use hdoutlier::core::{OutlierDetector, SearchMethod};
+use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_json::Json;
+use hdoutlier_serve::{ServeConfig, ServeHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    // --- Server side (normally: `hdoutlier serve --addr 127.0.0.1:8787`).
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 500,
+        n_dims: 5,
+        n_outliers: 3,
+        strong_groups: Some(2),
+        seed: 7,
+        ..PlantedConfig::default()
+    });
+    let model = OutlierDetector::builder()
+        .phi(4)
+        .k(2)
+        .m(5)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&planted.dataset)
+        .expect("fit");
+    let handle = ServeHandle::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = handle.local_addr();
+    println!("serving on http://{addr}");
+
+    // --- Client side: create a session with the model inline.
+    let model_json = hdoutlier::stream::model_io::to_json(&model)
+        .expect("render model")
+        .render();
+    let (status, body) = http(
+        &addr.to_string(),
+        "POST",
+        "/sessions",
+        &format!("{{\"id\": \"demo\", \"batch\": 16, \"model\": {model_json}}}"),
+    );
+    assert_eq!(status, 201, "{body}");
+    println!("created session: {body}");
+
+    // Score fifty records: one JSON array per line, null = missing value.
+    let mut records = String::new();
+    for i in 0..50 {
+        let row = Json::Array(
+            planted
+                .dataset
+                .row(i)
+                .iter()
+                .map(|&v| Json::from(v))
+                .collect(),
+        );
+        records.push_str(&row.render());
+        records.push('\n');
+    }
+    let (status, verdicts) = http(&addr.to_string(), "POST", "/sessions/demo/score", &records);
+    assert_eq!(status, 200, "{verdicts}");
+    let outliers = verdicts
+        .lines()
+        .filter(|l| l.contains("\"outlier\":true"))
+        .count();
+    println!(
+        "scored {} records, {outliers} flagged; first verdict: {}",
+        verdicts.lines().count(),
+        verdicts.lines().next().unwrap_or("")
+    );
+
+    // The status document shows the session's running totals.
+    let (status, doc) = http(&addr.to_string(), "GET", "/sessions/demo", "");
+    assert_eq!(status, 200);
+    println!("status: {doc}");
+
+    // --- Drain: in production, SIGTERM or `POST /shutdown` does this.
+    let report = handle.drain();
+    println!(
+        "drained: {} session(s), {} checkpointed",
+        report.sessions, report.checkpointed
+    );
+}
+
+/// One close-delimited HTTP/1.1 request over a fresh connection.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("framed response");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
