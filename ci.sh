@@ -35,12 +35,15 @@ cargo test -q --offline -p hdoutlier-cli --test fault_injection
 
 # The serving stack, bottom-up: HTTP wire edge cases against the std-only
 # server (fragmented reads, 413/431 caps, keep-alive, the connection
-# budget, drain races — crates/net/tests/http.rs); session registry,
-# byte-identity with a direct scorer, isolation, trip ladder, and
-# checkpoint/resume at the ServeApp level (crates/serve/tests/serve.rs);
-# then the compiled binary over real TCP: concurrent sessions
-# byte-identical to `stream`, kill -9 → restart → resume continuation
-# equivalence, and graceful drain on SIGTERM and POST /shutdown
+# budget, drain races, X-Request-Id assignment — crates/net/tests/http.rs);
+# session registry, byte-identity with a direct scorer, isolation, trip
+# ladder, and checkpoint/resume at the ServeApp level
+# (crates/serve/tests/serve.rs); then the compiled binary over real TCP:
+# concurrent sessions byte-identical to `stream`, kill -9 → restart →
+# resume continuation equivalence, graceful drain on SIGTERM and POST
+# /shutdown, and the observability smoke — serve under --trace-out + SLO
+# flags, request-id echo/propagation into the NDJSON access log and Chrome
+# trace args, /status healthy, generated ids unique under concurrency
 # (crates/cli/tests/serve_e2e.rs).
 cargo test -q --offline -p hdoutlier-net --test http
 cargo test -q --offline -p hdoutlier-serve --test serve
@@ -52,3 +55,10 @@ cargo test -q --offline -p hdoutlier-cli --test serve_e2e
 # per-record I/O or timing syscalls creeping into the default path.
 cargo run -q --offline --release -p hdoutlier-bench --bin stream_throughput -- \
     --assert-against BENCH_stream.json --tolerance 0.5
+
+# Serving perf gate: the whole serve stack — HTTP framing, request-scoped
+# context, labeled metrics, NDJSON scoring — must stay within tolerance of
+# the recorded baseline (BENCH_serve.json), so the labeled-metrics hot path
+# is provably not a throughput regression.
+cargo run -q --offline --release -p hdoutlier-bench --bin serve_bench -- \
+    --assert-against BENCH_serve.json --tolerance 0.5

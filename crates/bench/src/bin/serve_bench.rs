@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p hdoutlier-bench --release --bin serve_bench -- \
-//!     [n_records] [records_per_request] [--bench-json <path>]
+//!     [n_records] [records_per_request] [--bench-json <path>] \
+//!     [--assert-against <BENCH_serve.json> [--tolerance <frac>]]
 //! ```
 //!
 //! One session is created on an in-process [`ServeHandle`]; the client
@@ -13,6 +14,14 @@
 //! (`BENCH_serve.json`, schema `hdoutlier-bench/1`) records the end-to-end
 //! throughput and the per-request latency percentiles — the `latency_us`
 //! block is request round-trip time here, not per-record time.
+//!
+//! With `--assert-against <BENCH_serve.json>` the run becomes a regression
+//! gate: the `serve.score` us/record is compared to the baseline datapoint
+//! and the process exits 1 when it exceeds `baseline * (1 + --tolerance)`
+//! (default 0.5 — generous because absolute wall-clock varies across
+//! machines; the gate catches order-of-magnitude slips in the serving hot
+//! path, e.g. per-request allocation storms or accidental lock convoys in
+//! the labeled-metrics layer).
 
 use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_core::{OutlierDetector, SearchMethod};
@@ -26,17 +35,29 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let bench_json = match args.iter().position(|a| a == "--bench-json") {
+    let mut take_path = |flag: &str| match args.iter().position(|a| a == flag) {
         Some(i) if i + 1 < args.len() => {
             let path = args.remove(i + 1);
             args.remove(i);
             Some(path)
         }
         Some(_) => {
-            eprintln!("--bench-json requires a path");
+            eprintln!("{flag} requires a path");
             std::process::exit(2);
         }
         None => None,
+    };
+    let bench_json = take_path("--bench-json");
+    let assert_against = take_path("--assert-against");
+    let tolerance: f64 = match take_path("--tolerance") {
+        None => 0.5,
+        Some(raw) => match raw.parse() {
+            Ok(t) if t > 0.0 => t,
+            _ => {
+                eprintln!("--tolerance must be a positive fraction, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
     };
     let n_records: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let per_request: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
@@ -151,6 +172,44 @@ fn main() {
         std::fs::write(&path, bench.to_json()).expect("write bench json");
         eprintln!("bench datapoint written to {path}");
     }
+
+    if let Some(path) = assert_against {
+        let us_per_record = elapsed * 1e6 / scored as f64;
+        let baseline = baseline_score_us(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let limit = baseline * (1.0 + tolerance);
+        println!(
+            "regression gate: serve.score {us_per_record:.3} us/record vs baseline \
+             {baseline:.3} (limit {limit:.3}, tolerance {tolerance})"
+        );
+        if us_per_record > limit {
+            eprintln!(
+                "REGRESSION: serve.score {us_per_record:.3} us/record exceeds \
+                 {limit:.3} ({baseline:.3} from {path} + {:.0}%)",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads the `serve.score` stage's us/record from a BENCH_serve.json
+/// baseline datapoint.
+fn baseline_score_us(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = Json::parse(&text).map_err(|e| e.to_string())?;
+    json.get("stages")
+        .and_then(Json::as_array)
+        .and_then(|stages| {
+            stages
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some("serve.score"))
+        })
+        .and_then(|s| s.get("us_per_record"))
+        .and_then(Json::as_number)
+        .ok_or_else(|| "no serve.score stage with us_per_record".to_string())
 }
 
 /// One keep-alive HTTP request; returns `(status, body)`.

@@ -36,7 +36,14 @@ ROUTES:
     POST   /sessions/{id}/checkpoint  force an atomic checkpoint now
     DELETE /sessions/{id}           final checkpoint, then remove
     POST   /shutdown                graceful drain (same as SIGTERM)
-    GET    /metrics | /healthz | /snapshot   telemetry
+    GET    /status                  live SLO verdict per route and session
+                                    (?format=text for the human rendering)
+    GET    /metrics | /healthz | /snapshot   telemetry; /healthz answers
+                                    503 while the SLO verdict is unhealthy
+
+Every response carries an X-Request-Id header: the client's value when it
+sent a well-formed one, a generated id otherwise. Events, trace spans, and
+quarantine lines produced while handling the request carry the same id.
 
 USAGE:
     hdoutlier serve [OPTIONS]
@@ -56,6 +63,11 @@ OPTIONS:
                          before new ones get 503 (default 32)
     --max-body-bytes <n> request body cap; larger bodies get 413
                          (default 8388608)
+    --slo-error-rate <f> tolerated error fraction per SLO key inside the
+                         rolling window: 5xx responses per route, bad
+                         records per session (default 0.05)
+    --slo-p99-ms <ms>    tolerated per-route p99 request latency in
+                         milliseconds (default 250)
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics, snapshot to <p> after drain
@@ -86,6 +98,8 @@ pub fn run_with_ready(argv: &[String], on_ready: impl FnOnce(SocketAddr) + Send)
             "workers",
             "queue-depth",
             "max-body-bytes",
+            "slo-error-rate",
+            "slo-p99-ms",
         ],
         &[],
     );
@@ -155,6 +169,28 @@ fn serve_under_session(parsed: &Parsed, on_ready: impl FnOnce(SocketAddr) + Send
         Err(e) => return super::usage_err(e, HELP),
     }
     config.http = http;
+    match parsed.opt::<f64>("slo-error-rate", "number") {
+        Ok(Some(f)) if (0.0..=1.0).contains(&f) => config.slo_error_rate = f,
+        Ok(Some(f)) => {
+            return (
+                exit::USAGE,
+                format!("--slo-error-rate must be in [0, 1], got {f}\n\n{HELP}"),
+            )
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    match parsed.opt::<f64>("slo-p99-ms", "number") {
+        Ok(Some(ms)) if ms > 0.0 && ms.is_finite() => config.slo_p99_ms = ms,
+        Ok(Some(ms)) => {
+            return (
+                exit::USAGE,
+                format!("--slo-p99-ms must be a positive number, got {ms}\n\n{HELP}"),
+            )
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
     if let Some(dir) = parsed.get("checkpoint-dir") {
         let dir = PathBuf::from(dir);
         if let Err(e) = std::fs::create_dir_all(&dir) {

@@ -161,13 +161,24 @@ pub fn fmt_elapsed(elapsed: Duration) -> String {
 }
 
 /// The global metrics registry as a JSON object keyed by metric name, for
-/// embedding in `--json` reports.
+/// embedding in `--json` reports. Labeled series are keyed
+/// `name{k=v,…}` so every label set stays addressable without colliding.
 ///
 /// # Errors
 /// [`JsonError`] only on internal builder misuse (never for valid metrics).
 pub fn metrics_json() -> Result<Json, JsonError> {
     let mut object = Json::object();
     for metric in obs::registry().snapshot() {
+        let key = if metric.labels.is_empty() {
+            metric.name.clone()
+        } else {
+            let pairs: Vec<String> = metric
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{}{{{}}}", metric.name, pairs.join(","))
+        };
         let value = match metric.value {
             obs::SnapshotValue::Counter(v) => Json::Number(v as f64),
             obs::SnapshotValue::Gauge(v) => Json::Number(v as f64),
@@ -181,7 +192,7 @@ pub fn metrics_json() -> Result<Json, JsonError> {
                 .field("p90", h.p90)
                 .field("p99", h.p99)?,
         };
-        object = object.field(&metric.name, value)?;
+        object = object.field(&key, value)?;
     }
     Ok(object)
 }

@@ -124,6 +124,7 @@ impl Fixture {
 struct ServeProc {
     child: Child,
     addr: String,
+    stderr_rest: Option<std::thread::JoinHandle<String>>,
 }
 
 fn spawn_serve(extra_args: &[&str]) -> ServeProc {
@@ -136,22 +137,34 @@ fn spawn_serve(extra_args: &[&str]) -> ServeProc {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn serve");
-    // The bound address is the first stderr line, before any request.
+    // The banner is written before any request is served; under
+    // `--log-level info` event lines (e.g. `listening`) may precede it,
+    // so scan until the line carrying the address.
     let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
-    let mut banner = String::new();
-    stderr.read_line(&mut banner).expect("banner line");
-    let addr = banner
-        .split("http://")
-        .nth(1)
-        .and_then(|rest| rest.split_whitespace().next())
-        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
-        .to_string();
-    // Keep draining stderr so the child never blocks on a full pipe.
-    std::thread::spawn(move || {
+    let addr = loop {
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).expect("banner line");
+        assert!(n > 0, "stderr closed before the serve banner");
+        if let Some(addr) = line
+            .split("serve: listening on http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+        {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe; the
+    // collected text (event log under --log-json) is joinable after exit.
+    let stderr_rest = std::thread::spawn(move || {
         let mut rest = String::new();
         let _ = stderr.read_to_string(&mut rest);
+        rest
     });
-    ServeProc { child, addr }
+    ServeProc {
+        child,
+        addr,
+        stderr_rest: Some(stderr_rest),
+    }
 }
 
 impl ServeProc {
@@ -165,6 +178,16 @@ impl ServeProc {
             std::thread::sleep(Duration::from_millis(25));
         }
     }
+
+    /// Everything the child wrote to stderr after the banner. Call after
+    /// [`ServeProc::wait_for_exit`] — joins the drain thread.
+    fn stderr_text(&mut self) -> String {
+        self.stderr_rest
+            .take()
+            .expect("stderr already taken")
+            .join()
+            .expect("stderr drain thread")
+    }
 }
 
 impl Drop for ServeProc {
@@ -176,15 +199,29 @@ impl Drop for ServeProc {
 
 /// One close-delimited HTTP request; returns `(status, body)`.
 fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http_with_id(addr, method, path, None, body);
+    (status, body)
+}
+
+/// Like [`http`], optionally sending an `X-Request-Id` header; also
+/// returns the `X-Request-Id` the response echoed.
+fn http_with_id(
+    addr: &str,
+    method: &str,
+    path: &str,
+    request_id: Option<&str>,
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to serve");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
+    let id_header = request_id.map_or(String::new(), |id| format!("X-Request-Id: {id}\r\n"));
     stream
         .write_all(
             format!(
                 "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\n\
-                 Content-Length: {}\r\n\r\n{body}",
+                 {id_header}Content-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -199,7 +236,15 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
         .expect("status code")
         .parse()
         .expect("numeric status");
-    (status, payload.to_string())
+    let echoed = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("x-request-id")
+                .then(|| value.trim().to_string())
+        })
+        .unwrap_or_else(|| panic!("no X-Request-Id header in {head:?}"));
+    (status, echoed, payload.to_string())
 }
 
 fn create_session(addr: &str, model: &std::path::Path, extra: &str) -> (u16, String) {
@@ -372,6 +417,153 @@ fn sigterm_drains_gracefully_with_final_checkpoints() {
 
     // And the listener is gone.
     assert!(TcpStream::connect(&serve.addr).is_err());
+}
+
+/// The ci.sh observability smoke: serve boots with `--trace-out` and SLO
+/// flags, one session scores one request carrying a client `X-Request-Id`,
+/// and the identity threads everywhere it should — echoed on the response,
+/// in the NDJSON access-log event, and in the Chrome trace span args —
+/// while the verdict body stays byte-identical to `hdoutlier stream`.
+/// After drain, `/status` reported healthy and the trace file parses as
+/// Chrome trace JSON with per-request spans.
+#[test]
+fn request_id_threads_through_response_access_log_and_trace() {
+    let dir = temp_dir("request-id");
+    let fx = fixture(&dir, 67);
+    let trace_path = dir.join("trace.json");
+    let mut serve = spawn_serve(&[
+        "--log-json",
+        "--log-level",
+        "info",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--slo-error-rate",
+        "0.5",
+        "--slo-p99-ms",
+        "5000",
+    ]);
+
+    let (status, body) = create_session(&serve.addr, &fx.model, "\"id\": \"t\", ");
+    assert_eq!(status, 201, "{body}");
+
+    // A client-supplied id is echoed verbatim, and the verdict stream is
+    // still byte-for-byte what `stream` writes for these records.
+    let (status, echoed, verdicts) = http_with_id(
+        &serve.addr,
+        "POST",
+        "/sessions/t/score",
+        Some("e2e-req-42"),
+        &fx.ndjson_lines(0..40),
+    );
+    assert_eq!(status, 200, "{verdicts}");
+    assert_eq!(echoed, "e2e-req-42");
+    assert_eq!(verdicts, fx.stream_reference(0..40));
+
+    // The SLO engine judges the traffic so far (all 2xx, fast) healthy.
+    let (status, status_body) = http(&serve.addr, "GET", "/status", "");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&status_body).expect("status json");
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("healthy"));
+    let keys: Vec<&str> = doc
+        .get("keys")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|k| k.get("key").unwrap().as_str().unwrap())
+        .collect();
+    assert!(
+        keys.contains(&"route:/sessions/{id}/score") && keys.contains(&"session:t"),
+        "{keys:?}"
+    );
+    let (status, health) = http(&serve.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{health}");
+
+    let (status, _) = http(&serve.addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = serve.wait_for_exit();
+    assert_eq!(exit.code(), Some(0));
+
+    // The access log (NDJSON events on stderr) has the wide per-request
+    // event for the scoring request, tagged with the client's id.
+    let stderr = serve.stderr_text();
+    let access = stderr
+        .lines()
+        .find(|l| l.contains("\"event\":\"access\"") && l.contains("\"e2e-req-42\""))
+        .unwrap_or_else(|| panic!("no access event for e2e-req-42 in:\n{stderr}"));
+    for needle in [
+        "\"route\":\"/sessions/{id}/score\"",
+        "\"status\":200",
+        "\"records\":40",
+        "\"request_id\":\"e2e-req-42\"",
+        "\"session_id\":\"t\"",
+    ] {
+        assert!(access.contains(needle), "{needle} missing in {access}");
+    }
+
+    // The trace file is valid Chrome JSON whose request spans carry the
+    // same identity in their args.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file");
+    let trace_json = Json::parse(&trace).expect("valid chrome trace json");
+    let events = trace_json
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let tagged = events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("request")
+            && e.get("args")
+                .and_then(|a| a.get("request_id"))
+                .and_then(Json::as_str)
+                == Some("e2e-req-42")
+    });
+    assert!(tagged, "no request span with args.request_id in {trace}");
+}
+
+/// Requests without a client id get server-generated ones — unique across
+/// concurrent connections to different sessions.
+#[test]
+fn generated_request_ids_are_unique_across_concurrent_sessions() {
+    let dir = temp_dir("generated-ids");
+    let fx = fixture(&dir, 71);
+    let serve = spawn_serve(&[]);
+    for id in ["u1", "u2", "u3"] {
+        let (status, body) = create_session(&serve.addr, &fx.model, &format!("\"id\": \"{id}\", "));
+        assert_eq!(status, 201, "{body}");
+    }
+
+    let handles: Vec<_> = ["u1", "u2", "u3"]
+        .into_iter()
+        .map(|id| {
+            let addr = serve.addr.clone();
+            let lines = fx.ndjson_lines(0..10);
+            std::thread::spawn(move || {
+                (0..4)
+                    .map(|_| {
+                        let (status, echoed, body) = http_with_id(
+                            &addr,
+                            "POST",
+                            &format!("/sessions/{id}/score"),
+                            None,
+                            &lines,
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        echoed
+                    })
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+    let ids: Vec<String> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("scoring thread"))
+        .collect();
+    assert_eq!(ids.len(), 12);
+    for id in &ids {
+        assert_eq!(id.len(), 32, "generated id {id:?} is not 32 hex chars");
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id:?}");
+    }
+    let unique: std::collections::BTreeSet<&String> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "duplicate generated ids: {ids:?}");
 }
 
 #[test]

@@ -57,6 +57,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the request was `HTTP/1.0` (keep-alive defaults off).
     pub http1_0: bool,
+    /// The request's identity: a client-supplied `X-Request-Id` header
+    /// (when well-formed — see [`is_valid_request_id`]) or a server-
+    /// generated hex id. Echoed back as `X-Request-Id` on the response.
+    pub request_id: String,
 }
 
 impl Request {
@@ -185,6 +189,36 @@ pub struct ServerStats {
 
 /// The handler a [`Server`] routes every parsed request through.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Whether a client-supplied `X-Request-Id` is acceptable for echoing:
+/// 1–128 visible ASCII characters (no spaces, no controls — the id goes
+/// back out in a response header and into log lines verbatim).
+pub fn is_valid_request_id(id: &str) -> bool {
+    !id.is_empty() && id.len() <= 128 && id.bytes().all(|b| b.is_ascii_graphic())
+}
+
+/// Generates a server-assigned request id: 32 hex characters (128 random
+/// bits) from a process-wide generator seeded once from the wall clock and
+/// pid, so concurrent servers in one test process still diverge.
+fn generate_request_id() -> String {
+    use hdoutlier_rng::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+    use std::sync::OnceLock;
+    static RNG: OnceLock<Mutex<Xoshiro256PlusPlus>> = OnceLock::new();
+    let rng = RNG.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Mutex::new(Xoshiro256PlusPlus::seed_from_u64(
+            nanos ^ ((std::process::id() as u64) << 32),
+        ))
+    });
+    let (hi, lo) = {
+        let mut rng = rng.lock().expect("request-id rng lock");
+        (rng.next_u64(), rng.next_u64())
+    };
+    format!("{hi:016x}{lo:016x}")
+}
 
 /// Shared accept-queue state between the accept thread and the workers.
 struct Shared {
@@ -328,6 +362,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 &mut stream,
                 &Response::text(503, "server is at its connection budget; retry\n"),
                 false,
+                None,
             );
             continue;
         }
@@ -390,7 +425,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<
                 let keep_alive = wants_keep_alive(&request)
                     && served < shared.config.max_requests_per_connection
                     && !shared.stop.load(Ordering::SeqCst);
-                write_response(stream, &response, keep_alive)?;
+                write_response(stream, &response, keep_alive, Some(&request.request_id))?;
                 if !keep_alive {
                     return Ok(());
                 }
@@ -399,7 +434,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<
             ReadOutcome::Reject(status, message) => {
                 shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let body = format!("{message}\n");
-                return write_response(stream, &Response::text(status, body), false);
+                return write_response(stream, &Response::text(status, body), false, None);
             }
             ReadOutcome::Io => return Ok(()),
         }
@@ -523,6 +558,12 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
         // rather than silently mis-framing the next request.
         return ReadOutcome::Reject(400, "more body bytes than Content-Length declared");
     }
+    // Propagate a well-formed client id, assign one otherwise. Done here
+    // so every handler (and the response writer) sees a settled identity.
+    let request_id = match header("x-request-id") {
+        Some(id) if is_valid_request_id(id) => id.to_string(),
+        _ => generate_request_id(),
+    };
     ReadOutcome::Request(Request {
         method: method.to_string(),
         path,
@@ -530,6 +571,7 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
         headers,
         body,
         http1_0,
+        request_id,
     })
 }
 
@@ -560,18 +602,26 @@ fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
     None
 }
 
-/// Writes one response with framing headers.
+/// Writes one response with framing headers. `request_id` (when the
+/// request parsed far enough to have one) is echoed as `X-Request-Id`;
+/// parse-level rejects and budget refusals have no identity to echo.
 fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     keep_alive: bool,
+    request_id: Option<&str>,
 ) -> std::io::Result<()> {
+    let id_header = match request_id {
+        Some(id) => format!("X-Request-Id: {id}\r\n"),
+        None => String::new(),
+    };
     let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         Response::reason(response.status),
         response.content_type,
         response.body.len(),
+        id_header,
         if keep_alive { "keep-alive" } else { "close" },
     );
     // One write for head + body: two small writes on a Nagle-enabled socket
@@ -597,6 +647,28 @@ mod tests {
         let end = find_head_end(b"GET / HTTP/1.1\n\nBODY").unwrap();
         assert_eq!(end.text_end, 14);
         assert_eq!(end.skip, 2);
+    }
+
+    #[test]
+    fn request_id_validation_rejects_hostile_values() {
+        assert!(is_valid_request_id("abc-123_X.Y"));
+        assert!(is_valid_request_id(&"x".repeat(128)));
+        assert!(!is_valid_request_id(""));
+        assert!(!is_valid_request_id(&"x".repeat(129)));
+        assert!(!is_valid_request_id("has space"));
+        assert!(!is_valid_request_id("line\nfeed"));
+        assert!(!is_valid_request_id("nul\0byte"));
+        assert!(!is_valid_request_id("smuggle\r\nX-Evil: 1"));
+    }
+
+    #[test]
+    fn generated_request_ids_are_hex_and_distinct() {
+        let a = generate_request_id();
+        let b = generate_request_id();
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b);
+        assert!(is_valid_request_id(&a));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Request-scoped identity, threaded through the serving stack.
+//!
+//! A [`RequestCtx`] names the request (and optionally the session) the
+//! current thread is working for. While one is installed via
+//! [`set_request_ctx`], every emitted event automatically gains
+//! `request_id` / `session_id` fields and every closed [`crate::Span`]
+//! carries the same identifiers into its Chrome-trace `args`, so one
+//! request's activity can be pulled out of a shared log or trace without
+//! touching any call signature.
+//!
+//! The context is thread-local: the guard returned by [`set_request_ctx`]
+//! restores the previous context when dropped (contexts nest), and is
+//! deliberately `!Send` so it cannot leak onto another thread. Identifiers
+//! are `Arc<str>`, so cloning a context for the trace buffer is two
+//! refcount bumps, not string copies.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// The identity of the request the current thread is serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCtx {
+    request_id: Arc<str>,
+    session_id: Option<Arc<str>>,
+}
+
+impl RequestCtx {
+    /// A context for `request_id`, not yet bound to a session.
+    pub fn new(request_id: &str) -> Self {
+        RequestCtx {
+            request_id: Arc::from(request_id),
+            session_id: None,
+        }
+    }
+
+    /// A context bound to both a request and a session.
+    pub fn with_session(request_id: &str, session_id: &str) -> Self {
+        RequestCtx {
+            request_id: Arc::from(request_id),
+            session_id: Some(Arc::from(session_id)),
+        }
+    }
+
+    /// The request identifier (the `X-Request-Id` value).
+    pub fn request_id(&self) -> &str {
+        &self.request_id
+    }
+
+    /// The session identifier, when the request addresses one.
+    pub fn session_id(&self) -> Option<&str> {
+        self.session_id.as_deref()
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<RequestCtx>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed context when dropped.
+#[derive(Debug)]
+pub struct RequestCtxGuard {
+    prev: Option<RequestCtx>,
+    /// Pins the guard to its thread: restoring a thread-local elsewhere
+    /// would corrupt both threads' contexts.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for RequestCtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `ctx` as the current thread's request context until the
+/// returned guard drops (contexts nest; the guard restores what it
+/// replaced). Hold the guard for the lifetime of the request — typically
+/// declared before the request span so identity outlives the span's drop.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn set_request_ctx(ctx: RequestCtx) -> RequestCtxGuard {
+    let prev = CTX.with(|c| c.borrow_mut().replace(ctx));
+    RequestCtxGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// The current thread's request context, if one is installed.
+pub fn current_request_ctx() -> Option<RequestCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_installs_nests_and_restores() {
+        assert_eq!(current_request_ctx(), None);
+        {
+            let _outer = set_request_ctx(RequestCtx::new("r1"));
+            assert_eq!(current_request_ctx().unwrap().request_id(), "r1");
+            assert_eq!(current_request_ctx().unwrap().session_id(), None);
+            {
+                let _inner = set_request_ctx(RequestCtx::with_session("r2", "s1"));
+                let ctx = current_request_ctx().unwrap();
+                assert_eq!(ctx.request_id(), "r2");
+                assert_eq!(ctx.session_id(), Some("s1"));
+            }
+            assert_eq!(current_request_ctx().unwrap().request_id(), "r1");
+        }
+        assert_eq!(current_request_ctx(), None);
+    }
+
+    #[test]
+    fn context_is_thread_local() {
+        let _guard = set_request_ctx(RequestCtx::new("main-thread"));
+        let other = std::thread::spawn(current_request_ctx).join().unwrap();
+        assert_eq!(other, None);
+    }
+}

@@ -95,13 +95,30 @@ pub fn ts_us() -> u64 {
 }
 
 /// Emits one event. A no-op (no allocation, no lock) unless [`enabled`]
-/// says a sink wants it.
+/// says a sink wants it. While a [`crate::RequestCtx`] is installed on the
+/// calling thread, `request_id` / `session_id` fields are appended
+/// automatically (the one small allocation this path ever makes, and only
+/// when both a sink and a context are live).
 pub fn event(level: Level, target: &str, name: &str, fields: &[Field<'_>]) {
     if !enabled(level) {
         return;
     }
     let guard = SINK.read().expect("sink lock");
     if let Some(sink) = guard.as_ref() {
+        let ctx = crate::ctx::current_request_ctx();
+        let mut tagged: Vec<Field<'_>>;
+        let fields = match ctx.as_ref() {
+            None => fields,
+            Some(ctx) => {
+                tagged = Vec::with_capacity(fields.len() + 2);
+                tagged.extend_from_slice(fields);
+                tagged.push(("request_id", Value::Str(ctx.request_id())));
+                if let Some(session) = ctx.session_id() {
+                    tagged.push(("session_id", Value::Str(session)));
+                }
+                &tagged
+            }
+        };
         sink.emit(&EventRecord {
             ts_us: ts_us(),
             level,
@@ -157,6 +174,7 @@ impl Drop for Span {
                         self.begin_us,
                         self.begin_us + us,
                         crate::trace::current_tid(),
+                        crate::ctx::current_request_ctx(),
                     );
                 }
             }
@@ -260,6 +278,37 @@ mod tests {
         assert_eq!(buf.len(), 2, "span recorded after buffer removal");
         let json = buf.to_chrome_json();
         assert!(json.contains("\"name\":\"traced\""), "{json}");
+    }
+
+    #[test]
+    fn events_inherit_the_request_context() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let capture = Arc::new(CaptureSink::default());
+        install(capture.clone(), Level::Info);
+        event(Level::Info, "hdoutlier.test", "plain", &[]);
+        {
+            let _ctx = crate::ctx::set_request_ctx(crate::ctx::RequestCtx::with_session(
+                "req-7", "sess-a",
+            ));
+            event(
+                Level::Info,
+                "hdoutlier.test",
+                "tagged",
+                &[("n", Value::U64(1))],
+            );
+        }
+        event(Level::Info, "hdoutlier.test", "after", &[]);
+        uninstall();
+        let lines = capture.lines();
+        assert!(!lines[0].contains("request_id"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"n\":1")
+                && lines[1].contains("\"request_id\":\"req-7\"")
+                && lines[1].contains("\"session_id\":\"sess-a\""),
+            "{}",
+            lines[1]
+        );
+        assert!(!lines[2].contains("request_id"), "{}", lines[2]);
     }
 
     #[test]

@@ -87,15 +87,65 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Renders `k="v",…` (no surrounding braces) from snapshot label pairs,
+/// names sanitized, values escaped. Empty input renders empty.
+fn render_label_pairs(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize_metric_name(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out
+}
+
+/// Appends `name{pairs} value\n`, omitting the braces when `pairs` is
+/// empty.
+fn push_sample(out: &mut String, name: &str, pairs: &str, value: &str) {
+    out.push_str(name);
+    if !pairs.is_empty() {
+        out.push('{');
+        out.push_str(pairs);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
 /// Renders a snapshot as Prometheus text exposition. Metrics keep the
 /// snapshot's name ordering (sorted — the registry snapshot is a BTreeMap
-/// walk), each preceded by `# HELP` and `# TYPE` lines. Counters gain a
-/// `_total` suffix unless already present; histograms emit cumulative
-/// buckets ending in `+Inf`, then `_sum` and `_count`.
+/// walk), each family preceded by one `# HELP` / `# TYPE` pair — labeled
+/// families emit the header once, then one series per label set in the
+/// snapshot's deterministic order. Counters gain a `_total` suffix unless
+/// already present; histograms emit cumulative buckets ending in `+Inf`
+/// (with `le` as the last label), then `_sum` and `_count` per label set.
 pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
     let mut out = String::with_capacity(snapshot.len() * 128);
+    let mut last_header: Option<String> = None;
+    let mut header = |out: &mut String, name: &str, source: &str, kind: &str| {
+        if last_header.as_deref() == Some(name) {
+            return;
+        }
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&escape_help(source));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        last_header = Some(name.to_string());
+    };
     for m in snapshot {
         let base = sanitize_metric_name(&m.name);
+        let pairs = render_label_pairs(&m.labels);
         match &m.value {
             SnapshotValue::Counter(v) => {
                 let name = if base.ends_with("_total") {
@@ -103,56 +153,48 @@ pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
                 } else {
                     format!("{base}_total")
                 };
-                push_header(&mut out, &name, &m.name, "counter");
-                out.push_str(&name);
-                out.push(' ');
-                out.push_str(&v.to_string());
-                out.push('\n');
+                header(&mut out, &name, &m.name, "counter");
+                push_sample(&mut out, &name, &pairs, &v.to_string());
             }
             SnapshotValue::Gauge(v) => {
-                push_header(&mut out, &base, &m.name, "gauge");
-                out.push_str(&base);
-                out.push(' ');
-                out.push_str(&v.to_string());
-                out.push('\n');
+                header(&mut out, &base, &m.name, "gauge");
+                push_sample(&mut out, &base, &pairs, &v.to_string());
             }
             SnapshotValue::Histogram(h) => {
-                push_header(&mut out, &base, &m.name, "histogram");
+                header(&mut out, &base, &m.name, "histogram");
                 let mut cumulative = 0u64;
                 for (le, count) in &h.buckets {
                     cumulative += count;
-                    out.push_str(&base);
-                    out.push_str("_bucket{le=\"");
-                    out.push_str(&escape_label_value(&format_le(*le)));
-                    out.push_str("\"} ");
-                    out.push_str(&cumulative.to_string());
-                    out.push('\n');
+                    let mut bucket_pairs = pairs.clone();
+                    if !bucket_pairs.is_empty() {
+                        bucket_pairs.push(',');
+                    }
+                    bucket_pairs.push_str("le=\"");
+                    bucket_pairs.push_str(&escape_label_value(&format_le(*le)));
+                    bucket_pairs.push('"');
+                    push_sample(
+                        &mut out,
+                        &format!("{base}_bucket"),
+                        &bucket_pairs,
+                        &cumulative.to_string(),
+                    );
                 }
-                out.push_str(&base);
-                out.push_str("_sum ");
-                out.push_str(&format_value(h.sum));
-                out.push('\n');
-                out.push_str(&base);
-                out.push_str("_count ");
-                out.push_str(&h.count.to_string());
-                out.push('\n');
+                push_sample(
+                    &mut out,
+                    &format!("{base}_sum"),
+                    &pairs,
+                    &format_value(h.sum),
+                );
+                push_sample(
+                    &mut out,
+                    &format!("{base}_count"),
+                    &pairs,
+                    &h.count.to_string(),
+                );
             }
         }
     }
     out
-}
-
-fn push_header(out: &mut String, name: &str, source: &str, kind: &str) {
-    out.push_str("# HELP ");
-    out.push_str(name);
-    out.push(' ');
-    out.push_str(&escape_help(source));
-    out.push('\n');
-    out.push_str("# TYPE ");
-    out.push_str(name);
-    out.push(' ');
-    out.push_str(kind);
-    out.push('\n');
 }
 
 impl Registry {
@@ -235,6 +277,66 @@ mod tests {
         let text = r.render_prometheus();
         assert!(
             text.contains("# HELP hdoutlier_stream_records_total hdoutlier.stream.records\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_counter_renders_one_header_and_series_per_label_set() {
+        let r = Registry::new();
+        let v = r.counter_vec("serve.requests", &["route", "status"]);
+        v.with(&["/sessions/{id}/score", "200"]).add(9);
+        v.with(&["/sessions/{id}/score", "500"]).add(1);
+        v.with(&["/metrics", "200"]).add(2);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE serve_requests_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "serve_requests_total{route=\"/metrics\",status=\"200\"} 2\n\
+                 serve_requests_total{route=\"/sessions/{id}/score\",status=\"200\"} 9\n\
+                 serve_requests_total{route=\"/sessions/{id}/score\",status=\"500\"} 1\n"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_histogram_merges_labels_with_le_last() {
+        let r = Registry::new();
+        let v = r.histogram_vec_with_bounds("serve.lat_us", &["route"], &[1.0, 5.0]);
+        v.with(&["/score"]).record(0.5);
+        v.with(&["/score"]).record(3.0);
+        v.with(&["/score"]).record(9.0);
+        let text = r.render_prometheus();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "serve_lat_us_bucket{route=\"/score\",le=\"1\"} 1",
+                "serve_lat_us_bucket{route=\"/score\",le=\"5\"} 2",
+                "serve_lat_us_bucket{route=\"/score\",le=\"+Inf\"} 3",
+                "serve_lat_us_sum{route=\"/score\"} 12.5",
+                "serve_lat_us_count{route=\"/score\"} 3",
+            ]
+        );
+        assert_eq!(
+            text.matches("# TYPE serve_lat_us histogram").count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_series() {
+        let r = Registry::new();
+        r.counter_vec("c", &["path"]).with(&["a\\b\"c\nd"]).inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("c_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
             "{text}"
         );
     }

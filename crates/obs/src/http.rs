@@ -4,15 +4,19 @@
 //! Endpoints:
 //!
 //! - `GET /metrics`  — Prometheus text exposition ([`crate::render_prometheus`])
-//! - `GET /healthz`  — `200 ok`, for liveness probes
+//! - `GET /healthz`  — `200 ok`, for liveness probes; `503 unhealthy` when
+//!   an [`SloEngine`] reports [`crate::SloVerdict::Unhealthy`]
 //! - `GET /snapshot` — the registry's NDJSON snapshot (same dialect as
 //!   `--metrics-out`)
+//! - `GET /status`   — the SLO report ([`crate::SloReport::to_json`];
+//!   `?format=text` for the human rendering)
 //!
 //! The HTTP mechanics (bounded request parsing, connection budget, worker
 //! threads, graceful drain) live in `hdoutlier-net`; this module is only
 //! the telemetry *routes*. [`telemetry_response`] is public so other
-//! servers — the `hdoutlier serve` scoring API — can mount the same three
-//! endpoints on their own listener and get `/metrics` for free.
+//! servers — the `hdoutlier serve` scoring API — can mount the same
+//! endpoints on their own listener and get `/metrics` for free. Callers
+//! without an SLO engine pass `None` and get an always-healthy `/status`.
 //!
 //! Connections are handled on a small worker pool with a bounded budget,
 //! so one slow or stuck client occupies one worker instead of wedging the
@@ -22,6 +26,7 @@
 //! plain `read_to_string` consumers working.
 
 use crate::metrics::{refresh_process_metrics, Registry};
+use crate::slo::{SloEngine, SloVerdict};
 use hdoutlier_net::{Request, Response, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -29,9 +34,18 @@ use std::time::Duration;
 
 /// Routes one request against the telemetry endpoints. Returns `None` for
 /// paths this module does not own, so composing servers can try their own
-/// routes first and fall back here (or vice versa).
-pub fn telemetry_response(request: &Request, registry: &Registry) -> Option<Response> {
-    if !matches!(request.path.as_str(), "/metrics" | "/healthz" | "/snapshot") {
+/// routes first and fall back here (or vice versa). `slo` powers `/status`
+/// and the `/healthz` verdict; pass `None` to serve both without SLO
+/// evaluation (always healthy).
+pub fn telemetry_response(
+    request: &Request,
+    registry: &Registry,
+    slo: Option<&SloEngine>,
+) -> Option<Response> {
+    if !matches!(
+        request.path.as_str(),
+        "/metrics" | "/healthz" | "/snapshot" | "/status"
+    ) {
         return None;
     }
     if request.method != "GET" {
@@ -46,7 +60,27 @@ pub fn telemetry_response(request: &Request, registry: &Registry) -> Option<Resp
                 body: registry.render_prometheus().into_bytes(),
             }
         }
-        "/healthz" => Response::text(200, "ok\n"),
+        "/healthz" => match slo.map(|engine| engine.evaluate().overall) {
+            Some(SloVerdict::Unhealthy) => Response::text(503, "unhealthy\n"),
+            _ => Response::text(200, "ok\n"),
+        },
+        "/status" => {
+            let text = request.query.as_deref() == Some("format=text");
+            match slo {
+                Some(engine) => {
+                    let report = engine.evaluate();
+                    if text {
+                        Response::text(200, report.to_text())
+                    } else {
+                        Response::json(200, report.to_json())
+                    }
+                }
+                // No engine: a fixed healthy document, so probes work the
+                // same against servers that never configured SLOs.
+                None if text => Response::text(200, "status: healthy\n"),
+                None => Response::json(200, "{\"status\":\"healthy\",\"keys\":[]}\n"),
+            }
+        }
         _ => {
             refresh_process_metrics();
             Response::ndjson(200, registry.snapshot_ndjson())
@@ -85,8 +119,9 @@ impl MetricsServer {
     /// The bind or thread-spawn failure, untouched.
     pub fn serve(addr: &str, registry: &'static Registry) -> std::io::Result<Self> {
         let handler = Arc::new(move |request: &Request| {
-            telemetry_response(request, registry)
-                .unwrap_or_else(|| Response::text(404, "try /metrics, /healthz, or /snapshot\n"))
+            telemetry_response(request, registry, None).unwrap_or_else(|| {
+                Response::text(404, "try /metrics, /healthz, /snapshot, or /status\n")
+            })
         });
         let server = Server::bind(addr, telemetry_config(), handler)?;
         let addr = server.local_addr();
@@ -212,13 +247,72 @@ mod tests {
             headers: vec![],
             body: vec![],
             http1_0: false,
+            request_id: "test".to_string(),
         };
-        assert!(telemetry_response(&request, &TEST_REGISTRY).is_none());
+        assert!(telemetry_response(&request, &TEST_REGISTRY, None).is_none());
         let request = Request {
             path: "/healthz".to_string(),
             ..request
         };
-        let response = telemetry_response(&request, &TEST_REGISTRY).expect("owned path");
+        let response = telemetry_response(&request, &TEST_REGISTRY, None).expect("owned path");
         assert_eq!(response.status, 200);
+    }
+
+    #[test]
+    fn status_and_healthz_follow_the_slo_engine() {
+        use crate::slo::{SloSample, SloThresholds};
+        let request = |path: &str, query: Option<&str>| Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query.map(|q| q.to_string()),
+            headers: vec![],
+            body: vec![],
+            http1_0: false,
+            request_id: "test".to_string(),
+        };
+        // Engine-less servers stay healthy with a fixed document.
+        let none = telemetry_response(&request("/status", None), &TEST_REGISTRY, None).unwrap();
+        assert_eq!(none.status, 200);
+        assert_eq!(
+            String::from_utf8(none.body).unwrap(),
+            "{\"status\":\"healthy\",\"keys\":[]}\n"
+        );
+
+        let engine = SloEngine::new(
+            SloThresholds {
+                max_error_rate: 0.05,
+                max_p99_us: 1e12,
+            },
+            Duration::from_secs(60),
+        );
+        engine.observe_at(
+            "route:/score",
+            SloSample {
+                total: 100,
+                errors: 50,
+                buckets: vec![],
+            },
+            1_000_000,
+        );
+        let status =
+            telemetry_response(&request("/status", None), &TEST_REGISTRY, Some(&engine)).unwrap();
+        assert_eq!(status.status, 200);
+        let body = String::from_utf8(status.body).unwrap();
+        assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
+        assert!(body.contains("\"key\":\"route:/score\""), "{body}");
+
+        let health =
+            telemetry_response(&request("/healthz", None), &TEST_REGISTRY, Some(&engine)).unwrap();
+        assert_eq!(health.status, 503);
+
+        let text = telemetry_response(
+            &request("/status", Some("format=text")),
+            &TEST_REGISTRY,
+            Some(&engine),
+        )
+        .unwrap();
+        assert!(String::from_utf8(text.body)
+            .unwrap()
+            .starts_with("status: unhealthy\n"));
     }
 }

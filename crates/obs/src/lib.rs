@@ -47,6 +47,7 @@
 //! assert!(latency.snapshot().count == 1);
 //! ```
 
+mod ctx;
 mod dispatch;
 mod event;
 mod expo;
@@ -54,8 +55,10 @@ mod http;
 mod level;
 mod metrics;
 mod sink;
+mod slo;
 mod trace;
 
+pub use ctx::{current_request_ctx, set_request_ctx, RequestCtx, RequestCtxGuard};
 pub use dispatch::{
     enabled, event, install, max_level, set_max_level, set_timing, set_trace_buffer, span,
     timing_enabled, trace_enabled, ts_us, uninstall, Span,
@@ -65,8 +68,9 @@ pub use expo::{escape_label_value, render_prometheus, sanitize_metric_name};
 pub use http::{telemetry_config, telemetry_response, MetricsServer};
 pub use level::{Level, ParseLevelError};
 pub use metrics::{
-    refresh_process_metrics, registry, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricSnapshot, Registry, SnapshotValue, DURATION_US_BOUNDS,
+    refresh_process_metrics, registry, Counter, CounterVec, Gauge, GaugeVec, Histogram,
+    HistogramSnapshot, HistogramVec, MetricSnapshot, Registry, SnapshotValue, DURATION_US_BOUNDS,
 };
 pub use sink::{render_human, render_ndjson, CaptureSink, NdjsonSink, Sink, StderrSink};
+pub use slo::{SloEngine, SloKeyReport, SloReport, SloSample, SloThresholds, SloVerdict};
 pub use trace::TraceBuffer;

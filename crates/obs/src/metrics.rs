@@ -256,8 +256,146 @@ pub enum SnapshotValue {
 pub struct MetricSnapshot {
     /// Registered name, `hdoutlier.<crate>.<name>`.
     pub name: String,
+    /// Ordered `(label_name, label_value)` pairs; empty for unlabeled
+    /// metrics. The order is the family's registration order, identical on
+    /// every scrape.
+    pub labels: Vec<(String, String)>,
     /// Value at snapshot time.
     pub value: SnapshotValue,
+}
+
+/// Shared state of one labeled metric family: the ordered label schema and
+/// the children keyed by label values. The children map is locked only
+/// when a label set is first interned by [`CounterVec::with`] (and
+/// siblings) and at snapshot time; the handles it returns update with
+/// plain atomics, so hot paths resolve once and record lock-free.
+#[derive(Debug)]
+struct FamilyInner<T> {
+    label_names: Vec<String>,
+    children: Mutex<BTreeMap<Vec<String>, T>>,
+}
+
+impl<T: Clone> FamilyInner<T> {
+    fn new(label_names: &[&str]) -> Self {
+        FamilyInner {
+            label_names: label_names.iter().map(|s| s.to_string()).collect(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Interns `values` (first use registers a child via `make`) and
+    /// returns the child's cheap-to-clone handle.
+    fn with(&self, values: &[&str], make: impl FnOnce() -> T) -> T {
+        assert_eq!(
+            values.len(),
+            self.label_names.len(),
+            "label set {values:?} does not match schema {:?}",
+            self.label_names
+        );
+        let mut children = self.children.lock().expect("family lock");
+        children
+            .entry(values.iter().map(|s| s.to_string()).collect())
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Every interned label set with its child, in deterministic
+    /// (lexicographic label-value) order.
+    fn children(&self) -> Vec<(Vec<(String, String)>, T)> {
+        self.children
+            .lock()
+            .expect("family lock")
+            .iter()
+            .map(|(values, child)| {
+                let labels = self
+                    .label_names
+                    .iter()
+                    .cloned()
+                    .zip(values.iter().cloned())
+                    .collect();
+                (labels, child.clone())
+            })
+            .collect()
+    }
+}
+
+/// A family of [`Counter`]s sharing one name, distinguished by an ordered
+/// label set (e.g. `hdoutlier.serve.requests{route,status}`).
+#[derive(Debug, Clone)]
+pub struct CounterVec(Arc<FamilyInner<Counter>>);
+
+impl CounterVec {
+    /// Resolves (interning on first use) the child for `values`, one value
+    /// per label name in schema order. The returned handle is lock-free;
+    /// hot paths should resolve once and reuse it.
+    ///
+    /// # Panics
+    /// If `values.len()` differs from the family's label count.
+    pub fn with(&self, values: &[&str]) -> Counter {
+        self.0.with(values, || Counter(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// The family's ordered label names.
+    pub fn label_names(&self) -> &[String] {
+        &self.0.label_names
+    }
+}
+
+/// A family of [`Gauge`]s sharing one name, distinguished by an ordered
+/// label set.
+#[derive(Debug, Clone)]
+pub struct GaugeVec(Arc<FamilyInner<Gauge>>);
+
+impl GaugeVec {
+    /// Resolves (interning on first use) the child for `values`.
+    ///
+    /// # Panics
+    /// If `values.len()` differs from the family's label count.
+    pub fn with(&self, values: &[&str]) -> Gauge {
+        self.0.with(values, || Gauge(Arc::new(AtomicI64::new(0))))
+    }
+
+    /// The family's ordered label names.
+    pub fn label_names(&self) -> &[String] {
+        &self.0.label_names
+    }
+}
+
+/// A family of [`Histogram`]s sharing one name and bucket layout,
+/// distinguished by an ordered label set (per-route latency, …).
+#[derive(Debug, Clone)]
+pub struct HistogramVec {
+    inner: Arc<FamilyInner<Histogram>>,
+    bounds: Arc<Vec<f64>>,
+}
+
+impl HistogramVec {
+    /// Resolves (interning on first use) the child for `values`. Children
+    /// share the family's bucket bounds.
+    ///
+    /// # Panics
+    /// If `values.len()` differs from the family's label count.
+    pub fn with(&self, values: &[&str]) -> Histogram {
+        let bounds = Arc::clone(&self.bounds);
+        self.inner.with(values, || new_histogram(&bounds))
+    }
+
+    /// The family's ordered label names.
+    pub fn label_names(&self) -> &[String] {
+        &self.inner.label_names
+    }
+}
+
+/// Builds a histogram over validated bounds.
+fn new_histogram(bounds: &[f64]) -> Histogram {
+    Histogram(Arc::new(HistogramInner {
+        bounds: bounds.to_vec(),
+        counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+        count: AtomicU64::new(0),
+        sum: AtomicF64::new(0.0),
+        min: AtomicF64::new(f64::INFINITY),
+        max: AtomicF64::new(f64::NEG_INFINITY),
+    }))
 }
 
 #[derive(Debug, Clone)]
@@ -265,6 +403,9 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    CounterVec(CounterVec),
+    GaugeVec(GaugeVec),
+    HistogramVec(HistogramVec),
 }
 
 impl Metric {
@@ -273,7 +414,19 @@ impl Metric {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
+            Metric::CounterVec(_) => "labeled counter",
+            Metric::GaugeVec(_) => "labeled gauge",
+            Metric::HistogramVec(_) => "labeled histogram",
         }
+    }
+}
+
+/// Panics when a family is re-resolved under a different label schema —
+/// the labeled analogue of the kind-mismatch panic.
+fn check_labels(name: &str, registered: &[String], requested: &[&str]) {
+    if registered.len() != requested.len() || registered.iter().zip(requested).any(|(a, b)| a != b)
+    {
+        panic!("metric {name:?} is registered with labels {registered:?}, not {requested:?}");
     }
 }
 
@@ -344,38 +497,160 @@ impl Registry {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram {name:?} bounds must be strictly ascending"
         );
-        match self.get_or_insert(name, || {
-            Metric::Histogram(Histogram(Arc::new(HistogramInner {
-                bounds: bounds.to_vec(),
-                counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
-                count: AtomicU64::new(0),
-                sum: AtomicF64::new(0.0),
-                min: AtomicF64::new(f64::INFINITY),
-                max: AtomicF64::new(f64::NEG_INFINITY),
-            })))
-        }) {
+        match self.get_or_insert(name, || Metric::Histogram(new_histogram(bounds))) {
             Metric::Histogram(h) => h,
             other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
         }
     }
 
-    /// All registered metrics, sorted by name.
-    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        let map = self.metrics.lock().expect("registry lock");
-        map.iter()
-            .map(|(name, metric)| MetricSnapshot {
-                name: name.clone(),
-                value: match metric {
-                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
-                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
-                    Metric::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
-                },
-            })
-            .collect()
+    /// Resolves (registering on first use) the counter family `name` with
+    /// the ordered label schema `labels`. Children are addressed with
+    /// [`CounterVec::with`]; resolve the family once, then the children
+    /// once, and record through the lock-free handles.
+    ///
+    /// # Panics
+    /// If `labels` is empty, if `name` is already registered as a
+    /// different metric kind, or if it is registered with a different
+    /// label schema.
+    pub fn counter_vec(&self, name: &str, labels: &[&str]) -> CounterVec {
+        assert!(!labels.is_empty(), "family {name:?} needs >= 1 label");
+        match self.get_or_insert(name, || {
+            Metric::CounterVec(CounterVec(Arc::new(FamilyInner::new(labels))))
+        }) {
+            Metric::CounterVec(v) => {
+                check_labels(name, v.label_names(), labels);
+                v
+            }
+            other => panic!(
+                "metric {name:?} is a {}, not a labeled counter",
+                other.kind()
+            ),
+        }
     }
 
-    /// The snapshot as NDJSON: one object per metric, sorted by name, each
-    /// line `{"metric":"…","type":"counter|gauge|histogram",…}`. Histogram
+    /// Resolves (registering on first use) the gauge family `name` with
+    /// the ordered label schema `labels`.
+    ///
+    /// # Panics
+    /// As [`Registry::counter_vec`].
+    pub fn gauge_vec(&self, name: &str, labels: &[&str]) -> GaugeVec {
+        assert!(!labels.is_empty(), "family {name:?} needs >= 1 label");
+        match self.get_or_insert(name, || {
+            Metric::GaugeVec(GaugeVec(Arc::new(FamilyInner::new(labels))))
+        }) {
+            Metric::GaugeVec(v) => {
+                check_labels(name, v.label_names(), labels);
+                v
+            }
+            other => panic!("metric {name:?} is a {}, not a labeled gauge", other.kind()),
+        }
+    }
+
+    /// Resolves (registering on first use) the histogram family `name`
+    /// with the ordered label schema `labels` and the default
+    /// [`DURATION_US_BOUNDS`].
+    ///
+    /// # Panics
+    /// As [`Registry::counter_vec`].
+    pub fn histogram_vec(&self, name: &str, labels: &[&str]) -> HistogramVec {
+        self.histogram_vec_with_bounds(name, labels, DURATION_US_BOUNDS)
+    }
+
+    /// Like [`Registry::histogram_vec`] with explicit bucket upper bounds
+    /// (ascending), shared by every child. Bounds are fixed at first
+    /// registration.
+    ///
+    /// # Panics
+    /// As [`Registry::histogram_with_bounds`] plus the label-schema checks
+    /// of [`Registry::counter_vec`].
+    pub fn histogram_vec_with_bounds(
+        &self,
+        name: &str,
+        labels: &[&str],
+        bounds: &[f64],
+    ) -> HistogramVec {
+        assert!(!labels.is_empty(), "family {name:?} needs >= 1 label");
+        assert!(!bounds.is_empty(), "histogram {name:?} needs >= 1 bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly ascending"
+        );
+        match self.get_or_insert(name, || {
+            Metric::HistogramVec(HistogramVec {
+                inner: Arc::new(FamilyInner::new(labels)),
+                bounds: Arc::new(bounds.to_vec()),
+            })
+        }) {
+            Metric::HistogramVec(v) => {
+                check_labels(name, v.label_names(), labels);
+                v
+            }
+            other => panic!(
+                "metric {name:?} is a {}, not a labeled histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// All registered metrics, sorted by name; a labeled family
+    /// contributes one entry per interned label set (label-value order),
+    /// after any unlabeled metric of the same name prefix.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.lock().expect("registry lock");
+        let mut out = Vec::with_capacity(map.len());
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => out.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: Vec::new(),
+                    value: SnapshotValue::Counter(c.get()),
+                }),
+                Metric::Gauge(g) => out.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: Vec::new(),
+                    value: SnapshotValue::Gauge(g.get()),
+                }),
+                Metric::Histogram(h) => out.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: Vec::new(),
+                    value: SnapshotValue::Histogram(h.snapshot()),
+                }),
+                Metric::CounterVec(v) => {
+                    for (labels, child) in v.0.children() {
+                        out.push(MetricSnapshot {
+                            name: name.clone(),
+                            labels,
+                            value: SnapshotValue::Counter(child.get()),
+                        });
+                    }
+                }
+                Metric::GaugeVec(v) => {
+                    for (labels, child) in v.0.children() {
+                        out.push(MetricSnapshot {
+                            name: name.clone(),
+                            labels,
+                            value: SnapshotValue::Gauge(child.get()),
+                        });
+                    }
+                }
+                Metric::HistogramVec(v) => {
+                    for (labels, child) in v.inner.children() {
+                        out.push(MetricSnapshot {
+                            name: name.clone(),
+                            labels,
+                            value: SnapshotValue::Histogram(child.snapshot()),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The snapshot as NDJSON: one object per metric (one per label set
+    /// for families), sorted by name, each line
+    /// `{"metric":"…","type":"counter|gauge|histogram",…}`. Labeled series
+    /// add `"labels":{…}` in schema order right after the name. Histogram
     /// lines carry the full `(le, count)` bucket list (per-bucket counts,
     /// `le` of the overflow bucket rendered as `"+Inf"`) so consumers can
     /// rebuild the distribution instead of only reading baked quantiles.
@@ -384,7 +659,22 @@ impl Registry {
         for m in self.snapshot() {
             out.push_str("{\"metric\":\"");
             escape_json_into(&mut out, &m.name);
-            out.push_str("\",\"type\":\"");
+            if !m.labels.is_empty() {
+                out.push_str("\",\"labels\":{");
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json_into(&mut out, k);
+                    out.push_str("\":\"");
+                    escape_json_into(&mut out, v);
+                    out.push('"');
+                }
+                out.push_str("},\"type\":\"");
+            } else {
+                out.push_str("\",\"type\":\"");
+            }
             match &m.value {
                 SnapshotValue::Counter(v) => {
                     out.push_str("counter\",\"value\":");
@@ -639,6 +929,103 @@ mod tests {
             ),
             "{line}"
         );
+    }
+
+    #[test]
+    fn counter_vec_interns_and_accumulates_per_label_set() {
+        let r = Registry::new();
+        let v = r.counter_vec("req", &["route", "status"]);
+        v.with(&["/score", "200"]).add(3);
+        v.with(&["/score", "200"]).inc();
+        v.with(&["/score", "500"]).inc();
+        assert_eq!(v.with(&["/score", "200"]).get(), 4);
+        assert_eq!(v.with(&["/score", "500"]).get(), 1);
+        // Re-resolving the family by name reaches the same children.
+        assert_eq!(
+            r.counter_vec("req", &["route", "status"])
+                .with(&["/score", "200"])
+                .get(),
+            4
+        );
+    }
+
+    #[test]
+    fn gauge_and_histogram_vec_children_are_independent() {
+        let r = Registry::new();
+        let g = r.gauge_vec("sessions", &["kind"]);
+        g.with(&["brute"]).set(2);
+        g.with(&["ensemble"]).set(5);
+        assert_eq!(g.with(&["brute"]).get(), 2);
+        assert_eq!(g.with(&["ensemble"]).get(), 5);
+
+        let h = r.histogram_vec_with_bounds("lat", &["route"], &[1.0, 10.0]);
+        h.with(&["/a"]).record(0.5);
+        h.with(&["/b"]).record(99.0);
+        assert_eq!(h.with(&["/a"]).snapshot().count, 1);
+        assert_eq!(h.with(&["/b"]).snapshot().max, 99.0);
+    }
+
+    #[test]
+    fn snapshot_orders_label_sets_deterministically() {
+        let r = Registry::new();
+        let v = r.counter_vec("req", &["route", "status"]);
+        // Intern out of order; snapshot must come back sorted by values.
+        v.with(&["/z", "500"]).inc();
+        v.with(&["/a", "200"]).inc();
+        v.with(&["/a", "500"]).inc();
+        let labels: Vec<Vec<(String, String)>> =
+            r.snapshot().into_iter().map(|m| m.labels).collect();
+        let expect = |route: &str, status: &str| {
+            vec![
+                ("route".to_string(), route.to_string()),
+                ("status".to_string(), status.to_string()),
+            ]
+        };
+        assert_eq!(
+            labels,
+            vec![
+                expect("/a", "200"),
+                expect("/a", "500"),
+                expect("/z", "500")
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_ndjson_carries_labels_object() {
+        let r = Registry::new();
+        r.counter_vec("req", &["route", "status"])
+            .with(&["/score", "200"])
+            .add(7);
+        let text = r.snapshot_ndjson();
+        assert_eq!(
+            text,
+            "{\"metric\":\"req\",\"labels\":{\"route\":\"/score\",\"status\":\"200\"},\
+             \"type\":\"counter\",\"value\":7}\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a labeled counter")]
+    fn vec_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.counter_vec("x", &["route"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered with labels")]
+    fn label_schema_mismatch_panics() {
+        let r = Registry::new();
+        r.counter_vec("x", &["route", "status"]);
+        r.counter_vec("x", &["route"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn wrong_arity_with_panics() {
+        let r = Registry::new();
+        r.counter_vec("x", &["route", "status"]).with(&["/only"]);
     }
 
     #[test]

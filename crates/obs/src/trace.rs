@@ -14,11 +14,12 @@
 //! cap are counted in [`TraceBuffer::dropped`] rather than grown without
 //! limit inside a long-running serve loop.
 
+use crate::ctx::RequestCtx;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One begin or end record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TraceEvent {
     name: &'static str,
     target: &'static str,
@@ -26,6 +27,10 @@ struct TraceEvent {
     ph: char,
     ts_us: u64,
     tid: u64,
+    /// The request context at span close, rendered as Chrome-trace `args`
+    /// on the `B` record (cloning is refcount bumps — the ids are
+    /// `Arc<str>`).
+    ctx: Option<RequestCtx>,
 }
 
 /// Monotonic lane ids: Chrome traces key rows on `(pid, tid)`, and
@@ -70,6 +75,7 @@ impl TraceBuffer {
         begin_us: u64,
         end_us: u64,
         tid: u64,
+        ctx: Option<RequestCtx>,
     ) {
         let mut events = self.events.lock().expect("trace buffer lock");
         if events.len() + 2 > Self::MAX_EVENTS {
@@ -82,6 +88,7 @@ impl TraceBuffer {
             ph: 'B',
             ts_us: begin_us,
             tid,
+            ctx,
         });
         events.push(TraceEvent {
             name,
@@ -89,6 +96,7 @@ impl TraceBuffer {
             ph: 'E',
             ts_us: end_us,
             tid,
+            ctx: None,
         });
     }
 
@@ -139,6 +147,17 @@ impl TraceBuffer {
             out.push_str(&pid.to_string());
             out.push_str(",\"tid\":");
             out.push_str(&e.tid.to_string());
+            if let Some(ctx) = e.ctx.as_ref() {
+                out.push_str(",\"args\":{\"request_id\":\"");
+                crate::sink::escape_json_into(&mut out, ctx.request_id());
+                out.push('"');
+                if let Some(session) = ctx.session_id() {
+                    out.push_str(",\"session_id\":\"");
+                    crate::sink::escape_json_into(&mut out, session);
+                    out.push('"');
+                }
+                out.push('}');
+            }
             out.push('}');
         }
         out.push_str("\n]}\n");
@@ -153,7 +172,7 @@ mod tests {
     #[test]
     fn spans_record_paired_begin_end() {
         let buf = TraceBuffer::new();
-        buf.push_span("hdoutlier.test", "work", 10, 25, 1);
+        buf.push_span("hdoutlier.test", "work", 10, 25, 1, None);
         assert_eq!(buf.len(), 2);
         assert!(!buf.is_empty());
         let json = buf.to_chrome_json();
@@ -167,9 +186,9 @@ mod tests {
     #[test]
     fn events_sort_by_timestamp_with_stable_pairs() {
         let buf = TraceBuffer::new();
-        buf.push_span("t", "later", 50, 60, 1);
-        buf.push_span("t", "earlier", 10, 20, 1);
-        buf.push_span("t", "instant", 30, 30, 1);
+        buf.push_span("t", "later", 50, 60, 1, None);
+        buf.push_span("t", "earlier", 10, 20, 1, None);
+        buf.push_span("t", "instant", 30, 30, 1, None);
         let json = buf.to_chrome_json();
         let order: Vec<usize> = ["earlier", "instant", "later"]
             .iter()
@@ -183,11 +202,35 @@ mod tests {
     }
 
     #[test]
+    fn begin_records_render_request_args() {
+        let buf = TraceBuffer::new();
+        buf.push_span(
+            "t",
+            "request",
+            5,
+            9,
+            1,
+            Some(RequestCtx::with_session("req-1", "sess \"a\"")),
+        );
+        let json = buf.to_chrome_json();
+        assert!(
+            json.contains("\"ph\":\"B\",\"ts\":5,\"pid\":")
+                && json.contains(
+                    "\"args\":{\"request_id\":\"req-1\",\"session_id\":\"sess \\\"a\\\"\"}"
+                ),
+            "{json}"
+        );
+        // The E record carries no args.
+        let end = json.split("\"ph\":\"E\"").nth(1).unwrap();
+        assert!(!end.contains("\"args\""), "{json}");
+    }
+
+    #[test]
     fn buffer_is_bounded() {
         let buf = TraceBuffer::new();
         let spans = TraceBuffer::MAX_EVENTS / 2;
         for i in 0..spans + 3 {
-            buf.push_span("t", "s", i as u64, i as u64 + 1, 1);
+            buf.push_span("t", "s", i as u64, i as u64 + 1, 1, None);
         }
         assert_eq!(buf.len(), TraceBuffer::MAX_EVENTS);
         assert_eq!(buf.dropped(), 6);

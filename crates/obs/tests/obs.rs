@@ -192,6 +192,154 @@ fn scrape_while_recording_is_consistent() {
 }
 
 #[test]
+fn labeled_exposition_escapes_hostile_label_values() {
+    // Prometheus label values must escape backslash, double quote, and
+    // newline — and nothing else may leak a raw control byte into the
+    // exposition.
+    let registry = obs::Registry::new();
+    let requests = registry.counter_vec("hdoutlier.test.esc.requests", &["route", "status"]);
+    requests.with(&["/a\\b\"c\nd", "200"]).add(3);
+    let text = registry.render_prometheus();
+    assert!(
+        text.contains(
+            "hdoutlier_test_esc_requests_total{route=\"/a\\\\b\\\"c\\nd\",status=\"200\"} 3"
+        ),
+        "{text}"
+    );
+    assert!(text.lines().all(|l| l.chars().all(|c| c as u32 >= 0x20)));
+}
+
+#[test]
+fn labeled_exposition_orders_series_deterministically() {
+    // Children render sorted by label values regardless of intern order,
+    // and one family emits exactly one HELP/TYPE header — so consecutive
+    // scrapes of a quiesced registry are byte-identical.
+    let registry = obs::Registry::new();
+    let requests = registry.counter_vec("hdoutlier.test.order.req", &["route", "status"]);
+    let latency =
+        registry.histogram_vec_with_bounds("hdoutlier.test.order.lat", &["route"], &[1.0, 10.0]);
+    for (route, status) in [("/z", "500"), ("/a", "200"), ("/m", "404"), ("/a", "503")] {
+        requests.with(&[route, status]).inc();
+    }
+    latency.with(&["/z"]).record(5.0);
+    latency.with(&["/a"]).record(0.5);
+
+    let text = registry.render_prometheus();
+    assert_eq!(text, registry.render_prometheus(), "scrape not stable");
+    let series: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("hdoutlier_test_order_req_total{"))
+        .collect();
+    assert_eq!(
+        series,
+        [
+            "hdoutlier_test_order_req_total{route=\"/a\",status=\"200\"} 1",
+            "hdoutlier_test_order_req_total{route=\"/a\",status=\"503\"} 1",
+            "hdoutlier_test_order_req_total{route=\"/m\",status=\"404\"} 1",
+            "hdoutlier_test_order_req_total{route=\"/z\",status=\"500\"} 1",
+        ]
+    );
+    assert_eq!(
+        text.matches("# TYPE hdoutlier_test_order_req_total counter")
+            .count(),
+        1
+    );
+    assert_eq!(
+        text.matches("# TYPE hdoutlier_test_order_lat histogram")
+            .count(),
+        1
+    );
+    // Labeled histogram series keep `le` as the last label and stay
+    // grouped per label set.
+    assert!(
+        text.contains("hdoutlier_test_order_lat_bucket{route=\"/a\",le=\"1\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("hdoutlier_test_order_lat_count{route=\"/z\"} 1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn scrape_race_on_labeled_family_stays_consistent() {
+    // The labeled sibling of scrape_while_recording_is_consistent: writer
+    // threads hammer distinct label sets of one family (interning new
+    // children mid-race) while a reader renders; every render must show
+    // internally consistent per-label-set histogram series.
+    static LABELED: obs::Registry = obs::Registry::new();
+    const WRITERS: usize = 4;
+    const PER_THREAD: u64 = 10_000;
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            thread::spawn(move || {
+                let c = LABELED.counter_vec("hdoutlier.test.lrace.req", &["route", "status"]);
+                let h = LABELED.histogram_vec_with_bounds(
+                    "hdoutlier.test.lrace.lat",
+                    &["route"],
+                    &[1.0, 10.0],
+                );
+                let route = ["/a", "/b", "/c", "/d"][t];
+                let counter = c.with(&[route, "200"]);
+                let hist = h.with(&[route]);
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record((i % 20) as f64);
+                }
+            })
+        })
+        .collect();
+    let reader = thread::spawn(|| {
+        let mut renders = 0u32;
+        for _ in 0..200 {
+            let text = LABELED.render_prometheus();
+            for route in ["/a", "/b", "/c", "/d"] {
+                let prefix = format!("hdoutlier_test_lrace_lat_bucket{{route=\"{route}\",");
+                let buckets: Vec<u64> = text
+                    .lines()
+                    .filter(|l| l.starts_with(&prefix))
+                    .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+                    .collect();
+                if buckets.is_empty() {
+                    continue; // this child not interned yet
+                }
+                assert!(
+                    buckets.windows(2).all(|w| w[0] <= w[1]),
+                    "non-cumulative buckets for {route}: {buckets:?}"
+                );
+                let count: u64 = text
+                    .lines()
+                    .find(|l| {
+                        l.starts_with(&format!(
+                            "hdoutlier_test_lrace_lat_count{{route=\"{route}\""
+                        ))
+                    })
+                    .and_then(|l| l.rsplit(' ').next())
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert_eq!(*buckets.last().unwrap(), count, "+Inf != count for {route}");
+                renders += 1;
+            }
+        }
+        renders
+    });
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(reader.join().unwrap() > 0, "reader never saw a child");
+    let text = LABELED.render_prometheus();
+    for route in ["/a", "/b", "/c", "/d"] {
+        assert!(
+            text.contains(&format!(
+                "hdoutlier_test_lrace_req_total{{route=\"{route}\",status=\"200\"}} {PER_THREAD}"
+            )),
+            "{text}"
+        );
+    }
+}
+
+#[test]
 fn metrics_server_serves_live_registry_over_tcp() {
     use std::io::{Read, Write};
     static SERVED: obs::Registry = obs::Registry::new();

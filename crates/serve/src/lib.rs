@@ -18,8 +18,20 @@
 //! - `POST /sessions/{id}/checkpoint` — force an atomic checkpoint now;
 //! - `DELETE /sessions/{id}` — final checkpoint, then remove;
 //! - `POST /shutdown` — request a graceful drain (same effect as SIGTERM);
-//! - `GET /metrics` / `/healthz` / `/snapshot` — the shared telemetry
-//!   responder from [`hdoutlier_obs`].
+//! - `GET /metrics` / `/healthz` / `/snapshot` / `/status` — the shared
+//!   telemetry responder from [`hdoutlier_obs`]; `/status` renders the SLO
+//!   engine's live verdict and `/healthz` turns `503` when it is unhealthy.
+//!
+//! Every request is identified: the `X-Request-Id` assigned by
+//! [`hdoutlier_net`] (client-supplied or generated) is installed as the
+//! thread's [`obs::RequestCtx`] for the length of the request, so events,
+//! spans, and quarantine lines written while handling it carry
+//! `request_id` (and `session_id` when the path names a session). Each
+//! request also ends with one wide `access` event — route template,
+//! status, byte counts, scoring activity, duration — the NDJSON access
+//! log. Metrics are labeled by bounded route *templates*
+//! (`/sessions/{id}/score`, not the raw path), and per-session record
+//! counters are labeled by session id.
 //!
 //! Sessions are isolated: each lives behind its own mutex, so concurrent
 //! score requests to different sessions proceed in parallel across the
@@ -46,6 +58,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Event target for the serve subsystem.
 const TARGET: &str = "hdoutlier.serve";
@@ -62,6 +75,15 @@ pub struct ServeConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// HTTP server tuning (workers, queue depth, body caps, timeouts).
     pub http: ServerConfig,
+    /// SLO error-rate budget: the tolerated fraction of failing units
+    /// (5xx requests per route, bad records per session) inside the
+    /// rolling window before a key degrades.
+    pub slo_error_rate: f64,
+    /// SLO latency budget: the tolerated per-route p99 request duration,
+    /// in milliseconds.
+    pub slo_p99_ms: f64,
+    /// The rolling window the SLO engine evaluates over.
+    pub slo_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -71,15 +93,23 @@ impl Default for ServeConfig {
             threads: hdoutlier_pool::default_threads(),
             checkpoint_dir: None,
             http: ServerConfig::default(),
+            slo_error_rate: 0.05,
+            slo_p99_ms: 250.0,
+            slo_window: Duration::from_secs(60),
         }
     }
 }
 
-/// Metric handles resolved once at construction.
+/// Metric handles resolved once at construction. Label values are bounded:
+/// `route` is always a template from [`route_of`] and `status` one of the
+/// handful of codes the router produces; only `session` grows with use,
+/// capped by `max_sessions` at any moment.
 struct ServeMetrics {
     sessions: obs::Gauge,
-    requests: obs::Counter,
-    records: obs::Counter,
+    requests: obs::CounterVec,
+    request_duration_us: obs::HistogramVec,
+    records: obs::CounterVec,
+    record_errors: obs::CounterVec,
     drains: obs::Counter,
 }
 
@@ -88,11 +118,51 @@ impl ServeMetrics {
         let r = obs::registry();
         ServeMetrics {
             sessions: r.gauge("hdoutlier.serve.sessions"),
-            requests: r.counter("hdoutlier.serve.requests"),
-            records: r.counter("hdoutlier.serve.records"),
+            requests: r.counter_vec("hdoutlier.serve.requests", &["route", "status"]),
+            request_duration_us: r.histogram_vec("hdoutlier.serve.request_duration_us", &["route"]),
+            records: r.counter_vec("hdoutlier.serve.records", &["session"]),
+            record_errors: r.counter_vec("hdoutlier.serve.record_errors", &["session"]),
             drains: r.counter("hdoutlier.serve.drains"),
         }
     }
+}
+
+/// Collapses a request path to its route template so metric and SLO label
+/// cardinality stays bounded — session ids never become route labels.
+fn route_of(path: &str) -> &'static str {
+    match path {
+        "/sessions" | "/sessions/" => "/sessions",
+        "/shutdown" => "/shutdown",
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/snapshot" => "/snapshot",
+        "/status" => "/status",
+        _ => match path.strip_prefix("/sessions/") {
+            None => "other",
+            Some(rest) => match rest.split_once('/') {
+                None => "/sessions/{id}",
+                Some((_, "score")) => "/sessions/{id}/score",
+                Some((_, "checkpoint")) => "/sessions/{id}/checkpoint",
+                Some(_) => "other",
+            },
+        },
+    }
+}
+
+/// The session id a path addresses, when it names one.
+fn session_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/sessions/")?;
+    let id = rest.split('/').next().unwrap_or(rest);
+    (!id.is_empty()).then_some(id)
+}
+
+/// Scoring activity accumulated while routing one request, folded into the
+/// trailing `access` event.
+#[derive(Default)]
+struct Activity {
+    records: u64,
+    outliers: u64,
+    errors: u64,
 }
 
 /// The session registry and request router — everything about the scoring
@@ -103,23 +173,37 @@ pub struct ServeApp {
     next_id: AtomicU64,
     draining: AtomicBool,
     metrics: ServeMetrics,
+    slo: obs::SloEngine,
 }
 
 impl ServeApp {
     /// Builds an app over a validated configuration.
     pub fn new(config: ServeConfig) -> Arc<ServeApp> {
+        let slo = obs::SloEngine::new(
+            obs::SloThresholds {
+                max_error_rate: config.slo_error_rate,
+                max_p99_us: config.slo_p99_ms * 1_000.0,
+            },
+            config.slo_window,
+        );
         Arc::new(ServeApp {
             config,
             sessions: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             metrics: ServeMetrics::resolve(),
+            slo,
         })
     }
 
     /// The configuration the app was built with.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The SLO engine judging this server (powers `/status`).
+    pub fn slo(&self) -> &obs::SloEngine {
+        &self.slo
     }
 
     /// Whether a drain has been requested (`POST /shutdown` or
@@ -171,9 +255,51 @@ impl ServeApp {
         (total, checkpointed, errors)
     }
 
-    /// Routes one request. This is the [`hdoutlier_net::Handler`] body.
+    /// Handles one request. This is the [`hdoutlier_net::Handler`] body:
+    /// it installs the request identity, routes, then settles the
+    /// request-scoped telemetry — labeled metrics and the `access` event.
     pub fn handle(&self, request: &Request) -> Response {
-        self.metrics.requests.inc();
+        let start = Instant::now();
+        let route = route_of(&request.path);
+        // The context guard is declared before the span so the span drops
+        // (capturing its trace args) while the identity is still installed.
+        let ctx = match session_of(&request.path) {
+            Some(id) => obs::RequestCtx::with_session(&request.request_id, id),
+            None => obs::RequestCtx::new(&request.request_id),
+        };
+        let _ctx = obs::set_request_ctx(ctx);
+        let mut activity = Activity::default();
+        let response = {
+            let _span = obs::span(obs::Level::Debug, TARGET, "request");
+            self.route(request, &mut activity)
+        };
+        let duration = start.elapsed();
+        let status = response.status.to_string();
+        self.metrics.requests.with(&[route, &status]).inc();
+        self.metrics
+            .request_duration_us
+            .with(&[route])
+            .record_duration(duration);
+        obs::event(
+            obs::Level::Info,
+            TARGET,
+            "access",
+            &[
+                ("route", obs::Value::Str(route)),
+                ("status", obs::Value::U64(u64::from(response.status))),
+                ("bytes_in", obs::Value::U64(request.body.len() as u64)),
+                ("bytes_out", obs::Value::U64(response.body.len() as u64)),
+                ("records", obs::Value::U64(activity.records)),
+                ("outliers", obs::Value::U64(activity.outliers)),
+                ("errors", obs::Value::U64(activity.errors)),
+                ("duration_us", obs::Value::U64(duration.as_micros() as u64)),
+            ],
+        );
+        response
+    }
+
+    /// Routes one request to its endpoint.
+    fn route(&self, request: &Request, activity: &mut Activity) -> Response {
         let path = request.path.as_str();
         let method = request.method.as_str();
         if let Some(rest) = path.strip_prefix("/sessions") {
@@ -189,7 +315,7 @@ impl ServeApp {
                         Some((id, action)) => (id, Some(action)),
                     };
                     match (method, action) {
-                        ("POST", Some("score")) => self.score(id, request),
+                        ("POST", Some("score")) => self.score(id, request, activity),
                         ("POST", Some("checkpoint")) => self.checkpoint(id),
                         ("GET", None) => self.status(id),
                         ("DELETE", None) => self.delete(id),
@@ -206,9 +332,73 @@ impl ServeApp {
             obs::event(obs::Level::Info, TARGET, "shutdown_requested", &[]);
             return Response::json(200, r#"{"draining":true}"#);
         }
-        match obs::telemetry_response(request, obs::registry()) {
+        // Probes drive the SLO sampling cadence: each `/status` or
+        // `/healthz` hit feeds the engine a fresh cumulative reading
+        // before the shared responder evaluates it.
+        if method == "GET" && matches!(path, "/status" | "/healthz") {
+            self.sample_slo();
+        }
+        match obs::telemetry_response(request, obs::registry(), Some(&self.slo)) {
             Some(response) => response,
             None => error_response(404, &format!("no route for {method} {path}")),
+        }
+    }
+
+    /// Feeds the SLO engine one cumulative reading per key, derived from
+    /// the live metrics registry: per-route request totals, 5xx errors,
+    /// and latency buckets; per-session record totals and bad-record
+    /// errors.
+    fn sample_slo(&self) {
+        let mut routes: BTreeMap<String, obs::SloSample> = BTreeMap::new();
+        let mut sessions: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for metric in obs::registry().snapshot() {
+            let label = |key: &str| {
+                metric
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            };
+            match (metric.name.as_str(), &metric.value) {
+                ("hdoutlier.serve.requests", obs::SnapshotValue::Counter(n)) => {
+                    let (Some(route), Some(status)) = (label("route"), label("status")) else {
+                        continue;
+                    };
+                    let entry = routes.entry(route).or_default();
+                    entry.total += n;
+                    if status.starts_with('5') {
+                        entry.errors += n;
+                    }
+                }
+                ("hdoutlier.serve.request_duration_us", obs::SnapshotValue::Histogram(h)) => {
+                    let Some(route) = label("route") else {
+                        continue;
+                    };
+                    routes.entry(route).or_default().buckets = h.buckets.clone();
+                }
+                ("hdoutlier.serve.records", obs::SnapshotValue::Counter(n)) => {
+                    let Some(id) = label("session") else { continue };
+                    sessions.entry(id).or_default().0 += n;
+                }
+                ("hdoutlier.serve.record_errors", obs::SnapshotValue::Counter(n)) => {
+                    let Some(id) = label("session") else { continue };
+                    sessions.entry(id).or_default().1 += n;
+                }
+                _ => {}
+            }
+        }
+        for (route, sample) in routes {
+            self.slo.observe(&format!("route:{route}"), sample);
+        }
+        for (id, (records, errors)) in sessions {
+            self.slo.observe(
+                &format!("session:{id}"),
+                obs::SloSample {
+                    total: records + errors,
+                    errors,
+                    buckets: Vec::new(),
+                },
+            );
         }
     }
 
@@ -303,7 +493,7 @@ impl ServeApp {
     }
 
     /// `POST /sessions/{id}/score`.
-    fn score(&self, id: &str, request: &Request) -> Response {
+    fn score(&self, id: &str, request: &Request, activity: &mut Activity) -> Response {
         if self.shutdown_requested() {
             return error_response(503, "server is draining");
         }
@@ -322,7 +512,11 @@ impl ServeApp {
             return error_response(409, &format!("session tripped: {reason}"));
         }
         let outcome = session.score_lines(body, self.config.threads);
-        self.metrics.records.add(outcome.records);
+        activity.records = outcome.records;
+        activity.outliers = outcome.outliers;
+        activity.errors = outcome.errors;
+        self.metrics.records.with(&[id]).add(outcome.records);
+        self.metrics.record_errors.with(&[id]).add(outcome.errors);
         if let Some(fatal) = outcome.fatal {
             return error_response(500, &fatal);
         }

@@ -17,6 +17,7 @@
 //! run over the same records.
 
 use hdoutlier_json::{FieldChain, Json, JsonError};
+use hdoutlier_obs as obs;
 use hdoutlier_stream::ndjson::{error_json, verdict_json};
 use hdoutlier_stream::{Checkpoint, OnlineScorer, Verdict};
 use std::io::Write;
@@ -200,6 +201,10 @@ pub struct ScoreOutcome {
     pub ndjson: String,
     /// Records scored by this call (metrics fodder).
     pub records: u64,
+    /// Records this call flagged as outliers.
+    pub outliers: u64,
+    /// Bad records this call skipped or quarantined.
+    pub errors: u64,
     /// Set when the abort policy or the breaker tripped mid-request; the
     /// session refuses further scoring until deleted.
     pub tripped: Option<String>,
@@ -317,6 +322,8 @@ impl Session {
         let n_dims = self.scorer.model().grid().n_dims();
         let mut out = String::new();
         let mut records = 0u64;
+        let outliers_before = self.scorer.outliers_flagged();
+        let errors_before = self.skipped + self.quarantined;
         let mut pending: Vec<(u64, String, Vec<f64>)> = Vec::new();
 
         let mut run = || -> Result<(), Stop> {
@@ -353,28 +360,21 @@ impl Session {
             // is complete and state is consistent before it is sent.
             self.flush_batch(&mut pending, threads, &mut out, &mut records)
         };
-        match run() {
-            Ok(()) => ScoreOutcome {
-                ndjson: out,
-                records,
-                tripped: None,
-                fatal: None,
-            },
+        let (tripped, fatal) = match run() {
+            Ok(()) => (None, None),
             Err(Stop::Tripped(reason)) => {
                 self.tripped = Some(reason.clone());
-                ScoreOutcome {
-                    ndjson: out,
-                    records,
-                    tripped: Some(reason),
-                    fatal: None,
-                }
+                (Some(reason), None)
             }
-            Err(Stop::Fatal(reason)) => ScoreOutcome {
-                ndjson: out,
-                records,
-                tripped: None,
-                fatal: Some(reason),
-            },
+            Err(Stop::Fatal(reason)) => (None, Some(reason)),
+        };
+        ScoreOutcome {
+            ndjson: out,
+            records,
+            outliers: self.scorer.outliers_flagged() - outliers_before,
+            errors: self.skipped + self.quarantined - errors_before,
+            tripped,
+            fatal,
         }
     }
 
@@ -450,11 +450,21 @@ impl Session {
         }
         if let ErrorPolicy::Quarantine(path) = &self.policy {
             if let Some(raw) = raw {
+                // Under serve, a request context is installed and each
+                // quarantined line becomes a JSON envelope naming the
+                // request that carried it; the CLI stream path (no
+                // context) keeps writing the raw line verbatim, so its
+                // quarantine files stay replayable as-is.
+                let entry = match obs::current_request_ctx() {
+                    None => raw.to_string(),
+                    Some(ctx) => quarantine_envelope(&ctx, line_no, raw)
+                        .map_err(|e| Stop::Fatal(format!("line {line_no}: {e}")))?,
+                };
                 let append = std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
                     .open(path)
-                    .and_then(|mut f| writeln!(f, "{raw}"));
+                    .and_then(|mut f| writeln!(f, "{entry}"));
                 if let Err(e) = append {
                     return Err(Stop::Fatal(format!(
                         "failed to quarantine line {line_no} to {path}: {e}"
@@ -543,6 +553,26 @@ impl Session {
                 },
             )
     }
+}
+
+/// Renders the serve-side quarantine line: a JSON envelope carrying the
+/// raw record plus the request identity that delivered it, so a bad line
+/// in a quarantine file can be traced back through the access log.
+fn quarantine_envelope(
+    ctx: &obs::RequestCtx,
+    line_no: u64,
+    raw: &str,
+) -> Result<String, JsonError> {
+    Ok(Json::object()
+        .field("request_id", ctx.request_id())
+        .field(
+            "session_id",
+            ctx.session_id()
+                .map_or(Json::Null, |s| Json::String(s.to_string())),
+        )
+        .field("line", line_no)
+        .field("raw", raw)?
+        .render())
 }
 
 /// Parses one NDJSON record line — a JSON array of `n_dims` numbers, with
