@@ -49,6 +49,13 @@ cargo test -q --offline -p hdoutlier-net --test http
 cargo test -q --offline -p hdoutlier-serve --test serve
 cargo test -q --offline -p hdoutlier-cli --test serve_e2e
 
+# Continuous profiling: the span-stack sampling profiler end to end — the
+# compiled binary under `detect --profile-out --profile-hz` must write
+# non-empty folded stacks naming a hdoutlier.core.* frame, plus the
+# allocation-weighted twin fed by the counting allocator
+# (crates/cli/tests/profile_e2e.rs).
+cargo test -q --offline -p hdoutlier-cli --test profile_e2e
+
 # Perf gate: the streaming hot path must stay within noise of the recorded
 # baseline (BENCH_stream.json). Tolerance is generous (50%) because absolute
 # wall-clock varies across machines; it exists to catch accidental

@@ -37,6 +37,8 @@ OPTIONS:
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics and write an NDJSON snapshot to <p>
     --trace-out <p>      profile spans, write Chrome trace-event JSON to <p>
+    --profile-out <p>    sample span stacks, write folded flamegraph stacks to <p>
+    --profile-hz <n>     sampling rate for --profile-out (default 99)
 ";
 
 /// Runs the subcommand against stdout.

@@ -72,6 +72,8 @@ OPTIONS:
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics, snapshot to <p> after drain
     --trace-out <p>      profile spans, write Chrome trace JSON after drain
+    --profile-out <p>    sample span stacks, write folded flamegraph stacks to <p>
+    --profile-hz <n>     sampling rate for --profile-out (default 99)
 
 On SIGTERM/SIGINT or POST /shutdown the server stops accepting, finishes
 in-flight requests, writes a final checkpoint for every session, and exits.

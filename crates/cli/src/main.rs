@@ -3,6 +3,13 @@
 
 use std::io::Write;
 
+// Counting wrapper over the system allocator: feeds the
+// `hdoutlier.alloc.*` gauges and lets `--profile-out` attribute allocated
+// bytes to live spans. Installed only in the shipped binary — the bench
+// binaries measure the unwrapped allocator.
+#[global_allocator]
+static ALLOC: hdoutlier_obs::CountingAllocator = hdoutlier_obs::CountingAllocator;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();

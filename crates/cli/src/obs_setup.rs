@@ -1,7 +1,8 @@
 //! Shared observability plumbing for the subcommands: the `--log-level`,
-//! `--log-json`, `--metrics-out`, and `--trace-out` flags (plus
-//! `--serve-metrics` where a command opts in), dispatcher setup/teardown,
-//! and the metrics snapshot renderers used by reports.
+//! `--log-json`, `--metrics-out`, `--trace-out`, `--profile-out`, and
+//! `--profile-hz` flags (plus `--serve-metrics` where a command opts in),
+//! dispatcher setup/teardown, and the metrics snapshot renderers used by
+//! reports.
 
 use crate::args::{Parsed, Spec};
 use crate::json::{FieldChain, Json, JsonError};
@@ -15,6 +16,9 @@ pub const HELP: &str = "\
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics and write a final NDJSON snapshot to <p>
     --trace-out <p>      profile spans and write Chrome trace-event JSON to <p>
+    --profile-out <p>    sample span stacks while the command runs and write
+                         folded (flamegraph) stacks to <p>
+    --profile-hz <n>     sampling rate for --profile-out (default 99, max 1000)
 ";
 
 /// Help text for `--serve-metrics`; appended by the commands that declare
@@ -29,7 +33,13 @@ pub const SERVE_HELP: &str = "\
 /// `"serve-metrics"` in their own `value_flags`.
 pub fn spec_with(value_flags: &[&'static str], bool_flags: &[&'static str]) -> Spec {
     let mut values = value_flags.to_vec();
-    values.extend_from_slice(&["log-level", "metrics-out", "trace-out"]);
+    values.extend_from_slice(&[
+        "log-level",
+        "metrics-out",
+        "trace-out",
+        "profile-out",
+        "profile-hz",
+    ]);
     let mut bools = bool_flags.to_vec();
     bools.push("log-json");
     Spec::new(&values, &bools)
@@ -45,6 +55,8 @@ pub struct ObsSession {
     trace_out: Option<String>,
     trace: Option<Arc<obs::TraceBuffer>>,
     server: Option<obs::MetricsServer>,
+    profile_out: Option<String>,
+    profile: Option<obs::ProfileSession>,
 }
 
 impl ObsSession {
@@ -104,11 +116,32 @@ impl ObsSession {
         obs::set_timing(
             metrics_out.is_some() || server.is_some() || obs::enabled(obs::Level::Debug),
         );
+        let profile_out = parsed.get("profile-out").map(str::to_string);
+        let profile_hz = match parsed.get("profile-hz") {
+            Some(text) => {
+                if profile_out.is_none() {
+                    return Err("--profile-hz requires --profile-out".to_string());
+                }
+                let hz: u32 = text
+                    .parse()
+                    .map_err(|_| format!("--profile-hz: not a number: {text}"))?;
+                if hz == 0 {
+                    return Err("--profile-hz: must be at least 1".to_string());
+                }
+                hz
+            }
+            None => 99,
+        };
+        let profile = profile_out
+            .as_ref()
+            .map(|_| obs::ProfileSession::start(profile_hz));
         Ok(ObsSession {
             metrics_out,
             trace_out,
             trace,
             server,
+            profile_out,
+            profile,
         })
     }
 
@@ -127,6 +160,24 @@ impl ObsSession {
     pub fn finish(&mut self) -> Result<(), String> {
         if let Some(server) = self.server.take() {
             server.shutdown();
+        }
+        // The profiler stops before the metrics snapshot so the
+        // `hdoutlier.profile.*` counters it publishes on shutdown land in
+        // the `--metrics-out` export of the same run.
+        if let Some(session) = self.profile.take() {
+            let report = session.stop();
+            if let Some(path) = self.profile_out.take() {
+                std::fs::write(&path, report.to_folded())
+                    .map_err(|e| format!("failed to write profile {path}: {e}"))?;
+                // The allocation-weighted twin only exists when the counting
+                // allocator attributed bytes (it is installed in the shipped
+                // binary, not in every embedder of this crate).
+                if report.has_bytes() {
+                    let bytes_path = format!("{path}.bytes");
+                    std::fs::write(&bytes_path, report.to_folded_bytes())
+                        .map_err(|e| format!("failed to write profile {bytes_path}: {e}"))?;
+                }
+            }
         }
         if let Some(path) = self.metrics_out.take() {
             std::fs::write(&path, obs::registry().snapshot_ndjson())
@@ -293,6 +344,50 @@ mod tests {
 
         let parsed = spec.parse(&argv(&[])).unwrap();
         let _ = ObsSession::init(&parsed).unwrap();
+    }
+
+    #[test]
+    fn profile_out_writes_folded_stacks_and_validates_flags() {
+        let dir = std::env::temp_dir().join("hdoutlier-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs-setup-profile.folded");
+        let spec = spec_with(&[], &[]);
+        let parsed = spec
+            .parse(&argv(&[
+                "--profile-out",
+                path.to_str().unwrap(),
+                "--profile-hz",
+                "500",
+            ]))
+            .unwrap();
+        let mut session = ObsSession::init(&parsed).unwrap();
+        // Hold a span across a few sampler ticks so the folded output has
+        // at least one named frame.
+        {
+            let _g = obs::profile_span("hdoutlier.cli.test", "obs_setup_profile");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        session.finish().unwrap();
+        session.finish().unwrap(); // idempotent
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().all(|l| l
+                .rsplit_once(' ')
+                .is_some_and(|(_, n)| n.parse::<u64>().is_ok())),
+            "folded lines end in a count: {text:?}"
+        );
+
+        // Flag validation: hz without a sink, zero, and garbage all fail
+        // at init with a usage message naming the flag.
+        for bad in [
+            vec!["--profile-hz", "99"],
+            vec!["--profile-out", "/tmp/p.folded", "--profile-hz", "0"],
+            vec!["--profile-out", "/tmp/p.folded", "--profile-hz", "fast"],
+        ] {
+            let parsed = spec.parse(&argv(&bad)).unwrap();
+            let err = ObsSession::init(&parsed).unwrap_err();
+            assert!(err.contains("--profile-hz"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! End-to-end test of `--profile-out`: the compiled binary, a real
+//! detection run, and the folded stacks the sampling profiler writes.
+//!
+//! The dataset is sized so the brute-force search spans many sampler
+//! ticks at a high rate — small datasets finish between two ticks and
+//! produce an empty (but still valid) profile, which is exactly the
+//! flake this test must not have.
+
+use std::process::Command;
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hdoutlier"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hdoutlier-profile-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Every folded line is `frame;frame;… <count>` with a positive integer
+/// count; returns the parsed `(stack, count)` pairs.
+fn parse_folded(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .map(|line| {
+            let (stack, count) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("malformed folded line: {line:?}"));
+            let count: u64 = count
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric count: {line:?}"));
+            assert!(count > 0, "zero-count folded line: {line:?}");
+            (stack.to_string(), count)
+        })
+        .collect()
+}
+
+#[test]
+fn detect_profile_out_names_core_search_frames() {
+    use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 4000,
+        n_dims: 12,
+        n_outliers: 5,
+        strong_groups: Some(2),
+        seed: 97,
+        ..PlantedConfig::default()
+    });
+    let csv = temp_dir().join("profile-e2e.csv");
+    hdoutlier_data::csv::write_path(&planted.dataset, &csv).expect("writable");
+    let folded_path = temp_dir().join("profile-e2e.folded");
+
+    let out = binary()
+        .args([
+            "detect",
+            "--phi=8",
+            "--k=3",
+            "--m=5",
+            "--search=brute",
+            "--quiet",
+            "--profile-out",
+            folded_path.to_str().unwrap(),
+            "--profile-hz",
+            "997",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let folded = std::fs::read_to_string(&folded_path).expect("profile written");
+    let entries = parse_folded(&folded);
+    assert!(!entries.is_empty(), "empty profile: {folded:?}");
+    // The search dominates the run, so the sampler must have caught the
+    // detector's spans — the acceptance frame for the whole feature.
+    assert!(
+        entries
+            .iter()
+            .any(|(stack, _)| stack.contains("hdoutlier.core.")),
+        "no hdoutlier.core.* frame in:\n{folded}"
+    );
+
+    // The shipped binary carries the counting allocator, so the bytes-
+    // weighted twin rides along whenever any bytes were attributed in the
+    // window (the search allocates on every tree node, so they were).
+    let bytes_path = format!("{}.bytes", folded_path.display());
+    let bytes = std::fs::read_to_string(&bytes_path).expect("bytes twin written");
+    assert!(!parse_folded(&bytes).is_empty(), "empty bytes profile");
+}
+
+#[test]
+fn profile_hz_without_profile_out_is_a_usage_error() {
+    let out = binary()
+        .args(["detect", "--profile-hz=97", "/nonexistent.csv"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--profile-hz requires --profile-out"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

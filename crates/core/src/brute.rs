@@ -23,7 +23,13 @@ use crate::fitness::SparsityFitness;
 use crate::projection::Projection;
 use crate::report::ScoredProjection;
 use hdoutlier_index::{Cube, CubeCounter};
+use hdoutlier_obs as obs;
 use hdoutlier_stats::rank::BoundedBest;
+
+/// Profiler frame target: these spans exist for `--profile-out` stack
+/// attribution (one relaxed atomic load when profiling is off), not for
+/// the event log — the per-node rate would swamp any sink.
+const TARGET: &str = "hdoutlier.core";
 
 /// Configuration for [`brute_force_search`].
 #[derive(Debug, Clone)]
@@ -168,6 +174,7 @@ fn brute_force_over_first_dims<C: CubeCounter>(
         if dim + k > d {
             continue; // not enough higher dims to complete a cube
         }
+        let _enumerate = obs::profile_span(TARGET, "enumerate");
         for range in 0..phi {
             chosen.push((dim as u32, range));
             if config.require_nonempty && k > 1 {
@@ -267,7 +274,10 @@ impl<C: CubeCounter> Walker<'_, '_, C> {
     fn score_leaf(&mut self, chosen: &[(u32, u16)]) {
         self.candidates += 1;
         let cube = Cube::new(chosen.iter().copied()).expect("distinct dims");
-        let count = self.fitness.counter().count(&cube);
+        let count = {
+            let _intersect = obs::profile_span(TARGET, "intersect");
+            self.fitness.counter().count(&cube)
+        };
         self.scored += 1;
         if count > 0 || !self.config.require_nonempty {
             let sparsity = self.fitness.sparsity_of_cube(&cube);
@@ -381,6 +391,7 @@ fn incremental_over_first_dims(
         if dim + k > d {
             continue; // not enough higher dims to complete a cube
         }
+        let _enumerate = obs::profile_span(TARGET, "enumerate");
         state.explore(&root, &mut chosen, dim);
         if state.budget_hit {
             break;
@@ -450,7 +461,10 @@ impl IncrementalState<'_> {
         use hdoutlier_index::Bitmap;
         for range in 0..self.phi {
             let posting = self.index.posting(dim as u32, range);
-            let child = Bitmap::intersection(&[partial, posting]);
+            let child = {
+                let _intersect = obs::profile_span(TARGET, "intersect");
+                Bitmap::intersection(&[partial, posting])
+            };
             let count = child.count();
             chosen.push((dim as u32, range));
             if chosen.len() == self.k {

@@ -230,9 +230,17 @@ impl<'a, P: EvolutionaryProblem> Engine<'a, P> {
                 // detector's best-set) sees an identical call sequence
                 // whether the pool ran with 1 worker or 8.
                 let values: Vec<f64> = if self.config.threads > 1 {
-                    hdoutlier_pool::map(self.config.threads, pop, |_, g| self.problem.fitness(g))
+                    hdoutlier_pool::map(self.config.threads, pop, |_, g| {
+                        let _eval = obs::profile_span(TARGET, "evaluate");
+                        self.problem.fitness(g)
+                    })
                 } else {
-                    pop.iter().map(|g| self.problem.fitness(g)).collect()
+                    pop.iter()
+                        .map(|g| {
+                            let _eval = obs::profile_span(TARGET, "evaluate");
+                            self.problem.fitness(g)
+                        })
+                        .collect()
                 };
                 for (g, &f) in pop.iter().zip(&values) {
                     *evals += 1;

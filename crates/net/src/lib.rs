@@ -362,7 +362,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 &mut stream,
                 &Response::text(503, "server is at its connection budget; retry\n"),
                 false,
-                None,
+                // The head was never read, so there is no client id to echo;
+                // a generated one still lets the client pin the refusal to
+                // its logs of this connection attempt.
+                Some(&generate_request_id()),
             );
             continue;
         }
@@ -403,8 +406,11 @@ enum ReadOutcome {
     /// Clean EOF before any request byte arrived (keep-alive close).
     Closed,
     /// The request was rejected at the parse level; answer with this
-    /// status/message and close the connection.
-    Reject(u16, &'static str),
+    /// status/message and close the connection. Carries the request id to
+    /// echo — the client's own `X-Request-Id` when the headers got far
+    /// enough to parse, a generated one otherwise — so rejected requests
+    /// stay correlatable in client logs.
+    Reject(u16, &'static str, String),
     /// I/O failed (timeout, reset); close silently.
     Io,
 }
@@ -431,10 +437,15 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<
                 }
             }
             ReadOutcome::Closed => return Ok(()),
-            ReadOutcome::Reject(status, message) => {
+            ReadOutcome::Reject(status, message, request_id) => {
                 shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let body = format!("{message}\n");
-                return write_response(stream, &Response::text(status, body), false, None);
+                return write_response(
+                    stream,
+                    &Response::text(status, body),
+                    false,
+                    Some(&request_id),
+                );
             }
             ReadOutcome::Io => return Ok(()),
         }
@@ -470,44 +481,56 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
             break end;
         }
         if buf.len() > config.max_head_bytes {
-            return ReadOutcome::Reject(431, "request head exceeds the configured limit");
+            return ReadOutcome::Reject(
+                431,
+                "request head exceeds the configured limit",
+                generate_request_id(),
+            );
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 if buf.is_empty() {
                     return ReadOutcome::Closed;
                 }
-                return ReadOutcome::Reject(400, "connection closed mid-request-head");
+                return ReadOutcome::Reject(
+                    400,
+                    "connection closed mid-request-head",
+                    generate_request_id(),
+                );
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => {
                 return if buf.is_empty() {
                     ReadOutcome::Io
                 } else {
-                    ReadOutcome::Reject(400, "timed out mid-request-head")
+                    ReadOutcome::Reject(400, "timed out mid-request-head", generate_request_id())
                 }
             }
         }
     };
     let (head_bytes, rest) = buf.split_at(head_end.text_end);
     let Ok(head) = std::str::from_utf8(head_bytes) else {
-        return ReadOutcome::Reject(400, "request head is not valid UTF-8");
+        return ReadOutcome::Reject(
+            400,
+            "request head is not valid UTF-8",
+            generate_request_id(),
+        );
     };
     let mut lines = head.lines();
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return ReadOutcome::Reject(400, "malformed request line");
+        return ReadOutcome::Reject(400, "malformed request line", generate_request_id());
     };
     if parts.next().is_some() || !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Reject(400, "malformed request line");
+        return ReadOutcome::Reject(400, "malformed request line", generate_request_id());
     }
     let http1_0 = version == "HTTP/1.0";
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
-            return ReadOutcome::Reject(400, "malformed header line");
+            return ReadOutcome::Reject(400, "malformed header line", generate_request_id());
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
@@ -521,22 +544,33 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     };
+    // Settle the request identity as soon as the headers are in: propagate
+    // a well-formed client id, assign one otherwise. Every later outcome —
+    // including the body-cap rejects below — echoes the same id, so a
+    // client can pin a 411/413 straight to the request it sent.
+    let request_id = match header("x-request-id") {
+        Some(id) if is_valid_request_id(id) => id.to_string(),
+        _ => generate_request_id(),
+    };
     // --- Body: Content-Length bytes, bounded; chunked is not supported. ---
     if header("transfer-encoding").is_some() {
         return ReadOutcome::Reject(
             411,
             "chunked transfer encoding is not supported; send Content-Length",
+            request_id,
         );
     }
     let content_length = match header("content-length") {
         None => 0usize,
         Some(v) => match v.parse::<usize>() {
             Ok(n) => n,
-            Err(_) => return ReadOutcome::Reject(400, "Content-Length is not a number"),
+            Err(_) => {
+                return ReadOutcome::Reject(400, "Content-Length is not a number", request_id)
+            }
         },
     };
     if content_length > config.max_body_bytes {
-        return ReadOutcome::Reject(413, "request body exceeds the configured limit");
+        return ReadOutcome::Reject(413, "request body exceeds the configured limit", request_id);
     }
     // A client that sent `Expect: 100-continue` (curl does for large
     // bodies) is waiting for the go-ahead before transmitting the body.
@@ -548,22 +582,20 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
     let mut body: Vec<u8> = rest[head_end.skip..].to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return ReadOutcome::Reject(400, "connection closed mid-body"),
+            Ok(0) => return ReadOutcome::Reject(400, "connection closed mid-body", request_id),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => return ReadOutcome::Reject(400, "timed out mid-body"),
+            Err(_) => return ReadOutcome::Reject(400, "timed out mid-body", request_id),
         }
     }
     if body.len() > content_length {
         // Pipelined extra bytes are not supported; treat as malformed
         // rather than silently mis-framing the next request.
-        return ReadOutcome::Reject(400, "more body bytes than Content-Length declared");
+        return ReadOutcome::Reject(
+            400,
+            "more body bytes than Content-Length declared",
+            request_id,
+        );
     }
-    // Propagate a well-formed client id, assign one otherwise. Done here
-    // so every handler (and the response writer) sees a settled identity.
-    let request_id = match header("x-request-id") {
-        Some(id) if is_valid_request_id(id) => id.to_string(),
-        _ => generate_request_id(),
-    };
     ReadOutcome::Request(Request {
         method: method.to_string(),
         path,

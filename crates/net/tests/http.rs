@@ -202,6 +202,59 @@ fn malformed_requests_get_400_and_chunked_gets_411() {
 }
 
 #[test]
+fn early_rejects_echo_request_ids() {
+    let config = ServerConfig {
+        max_body_bytes: 64,
+        max_head_bytes: 256,
+        ..ServerConfig::default()
+    };
+    let server = echo_server(config);
+
+    // Rejects decided after the headers parse echo the client's own id:
+    // the 413 body cap, the 411 unsupported framing, and a body-framing 400.
+    let echoed: [(&str, u16); 3] = [
+        (
+            "POST /x HTTP/1.1\r\nX-Request-Id: req-413\r\nContent-Length: 65\r\n\r\n",
+            413,
+        ),
+        (
+            "POST /x HTTP/1.1\r\nX-Request-Id: req-411\r\nTransfer-Encoding: chunked\r\n\r\n",
+            411,
+        ),
+        (
+            "POST /x HTTP/1.1\r\nX-Request-Id: req-400\r\nContent-Length: twelve\r\n\r\n",
+            400,
+        ),
+    ];
+    for (raw, expected) in echoed {
+        let mut stream = connect(&server);
+        stream.write_all(raw.as_bytes()).unwrap();
+        let response = read_response(&mut stream);
+        assert_eq!(response.status, expected, "request {raw:?}");
+        assert_eq!(
+            response.header("x-request-id"),
+            Some(format!("req-{expected}").as_str()),
+            "a {expected} should echo the client's X-Request-Id"
+        );
+    }
+
+    // A 431 rejects before the head parses, so the client id is
+    // unreachable — but the response still carries a generated one.
+    let mut stream = connect(&server);
+    let head = format!(
+        "GET /x HTTP/1.1\r\nX-Request-Id: req-431\r\nX-Padding: {}\r\n",
+        "p".repeat(260)
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    let response = read_response(&mut stream);
+    assert_eq!(response.status, 431);
+    let id = response.header("x-request-id").expect("431 carries an id");
+    assert!(!id.is_empty());
+    assert_ne!(id, "req-431", "unparsed heads cannot echo the client id");
+    server.shutdown();
+}
+
+#[test]
 fn keep_alive_reuses_and_close_closes() {
     let server = echo_server(ServerConfig::default());
 
@@ -341,6 +394,14 @@ fn connection_budget_refuses_with_503() {
     refused.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
     let response = read_response(&mut refused);
     assert_eq!(response.status, 503);
+    // Even the inline refusal carries a request id (generated — the head
+    // was never read), so the client can pin the 503 to this attempt.
+    assert!(
+        response
+            .header("x-request-id")
+            .is_some_and(|v| !v.is_empty()),
+        "503 should carry X-Request-Id"
+    );
 
     // Release the gate: the blocked and queued requests now finish.
     drop(opener);

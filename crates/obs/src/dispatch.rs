@@ -142,6 +142,10 @@ pub struct Span {
     level: Level,
     target: &'static str,
     name: &'static str,
+    /// Whether this span pushed a frame onto the profiler's per-thread
+    /// stack at open (captured so the pop always matches the push, even if
+    /// a sampling session starts or stops while the span is live).
+    profiled: bool,
 }
 
 impl Span {
@@ -153,6 +157,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::pop_frame();
+        }
         if let Some(start) = self.start {
             let us = start.elapsed().as_micros() as u64;
             // A span may be live for the trace buffer alone; the event
@@ -184,15 +191,22 @@ impl Drop for Span {
 
 /// Opens a [`Span`]. `target` and `name` are `'static` so the guard stores
 /// them without allocating. Live when the level passes the filter *or* a
-/// trace buffer is collecting.
+/// trace buffer is collecting; independently of either, the span publishes
+/// a stack frame to the sampling profiler while a session is live
+/// ([`crate::profile_enabled`] — profile-only spans never touch the clock).
 pub fn span(level: Level, target: &'static str, name: &'static str) -> Span {
     let live = enabled(level) || trace_enabled();
+    let profiled = crate::profile::profile_enabled();
+    if profiled {
+        crate::profile::push_frame(target, name);
+    }
     Span {
         start: live.then(Instant::now),
         begin_us: if live { ts_us() } else { 0 },
         level,
         target,
         name,
+        profiled,
     }
 }
 

@@ -12,6 +12,101 @@
 
 use crate::metrics::{MetricSnapshot, Registry, SnapshotValue};
 
+// ---------------------------------------------------------------------------
+// Process vitals from /proc (Linux) — RSS and CPU time, zero-dependency.
+// ---------------------------------------------------------------------------
+
+/// A point-in-time reading of the process vitals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProcVitals {
+    rss_bytes: u64,
+    cpu_user_ms: u64,
+    cpu_sys_ms: u64,
+}
+
+/// Reads `AT_PAGESZ` (6) and `AT_CLKTCK` (17) from `/proc/self/auxv` — the
+/// zero-dependency way to learn the page size and `USER_HZ` that
+/// `sysconf(3)` would report. Falls back to the overwhelmingly common
+/// 4096 / 100 when the vector is unreadable.
+#[cfg(target_os = "linux")]
+fn auxv_values() -> (u64, u64) {
+    let mut page_size = 4096u64;
+    let mut clk_tck = 100u64;
+    if let Ok(raw) = std::fs::read("/proc/self/auxv") {
+        let word = std::mem::size_of::<usize>();
+        for pair in raw.chunks_exact(word * 2) {
+            let mut key = [0u8; 8];
+            let mut val = [0u8; 8];
+            key[..word].copy_from_slice(&pair[..word]);
+            val[..word].copy_from_slice(&pair[word..]);
+            let (key, val) = (u64::from_le_bytes(key), u64::from_le_bytes(val));
+            match key {
+                6 => page_size = val.max(1),
+                17 => clk_tck = val.max(1),
+                0 => break, // AT_NULL terminates the vector
+                _ => {}
+            }
+        }
+    }
+    (page_size, clk_tck)
+}
+
+/// Parses `/proc/self/statm` (RSS in pages, field 2) and `/proc/self/stat`
+/// (utime/stime in clock ticks, fields 14/15 counted from 1 — located
+/// after the last `)` so a comm containing spaces or parentheses cannot
+/// shift them). Returns `None` when either file is unreadable or
+/// malformed.
+#[cfg(target_os = "linux")]
+fn read_proc_vitals() -> Option<ProcVitals> {
+    let (page_size, clk_tck) = auxv_values();
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let rss_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields after the comm: state is field 3, utime field 14, stime 15.
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    let mut fields = after_comm.split_whitespace();
+    let utime_ticks: u64 = fields.nth(11)?.parse().ok()?; // field 14
+    let stime_ticks: u64 = fields.next()?.parse().ok()?; // field 15
+    let ticks_to_ms = |t: u64| t.saturating_mul(1000) / clk_tck;
+    Some(ProcVitals {
+        rss_bytes: rss_pages.saturating_mul(page_size),
+        cpu_user_ms: ticks_to_ms(utime_ticks),
+        cpu_sys_ms: ticks_to_ms(stime_ticks),
+    })
+}
+
+/// Non-Linux fallback: no `/proc`, no vitals — the gauges are simply never
+/// registered, which is more honest than exposing zeros.
+#[cfg(not(target_os = "linux"))]
+fn read_proc_vitals() -> Option<ProcVitals> {
+    None
+}
+
+/// Registers (on first success) and refreshes the `/proc`-backed process
+/// vitals on the global registry:
+///
+/// - `hdoutlier.process.rss_bytes` — gauge, resident set size;
+/// - `hdoutlier.process.cpu_user_ms` — gauge, user-mode CPU milliseconds
+///   since process start (monotone; milliseconds because an i64 gauge of
+///   whole seconds would lose every short run);
+/// - `hdoutlier.process.cpu_sys_ms` — gauge, kernel-mode CPU milliseconds.
+///
+/// Called from [`crate::refresh_process_metrics`] on every scrape and
+/// snapshot. A no-op on platforms without `/proc/self`.
+pub(crate) fn refresh_process_vitals() {
+    let Some(vitals) = read_proc_vitals() else {
+        return;
+    };
+    let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    let r = crate::metrics::registry();
+    r.gauge("hdoutlier.process.rss_bytes")
+        .set(clamp(vitals.rss_bytes));
+    r.gauge("hdoutlier.process.cpu_user_ms")
+        .set(clamp(vitals.cpu_user_ms));
+    r.gauge("hdoutlier.process.cpu_sys_ms")
+        .set(clamp(vitals.cpu_sys_ms));
+}
+
 /// Rewrites `name` into the Prometheus metric-name grammar
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`, and a
 /// leading digit is prefixed with `_`.
@@ -339,6 +434,38 @@ mod tests {
             text.contains("c_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
             "{text}"
         );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn proc_vitals_read_and_publish() {
+        let vitals = read_proc_vitals().expect("/proc/self readable on Linux");
+        assert!(vitals.rss_bytes > 0, "{vitals:?}");
+        // Burn a little user CPU so the counter is visibly monotone.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(31));
+        }
+        assert!(acc != 1);
+        let again = read_proc_vitals().unwrap();
+        assert!(again.cpu_user_ms >= vitals.cpu_user_ms);
+
+        refresh_process_vitals();
+        let r = crate::metrics::registry();
+        assert!(r.gauge("hdoutlier.process.rss_bytes").get() > 0);
+        assert!(r.gauge("hdoutlier.process.cpu_user_ms").get() >= 0);
+        assert!(r.gauge("hdoutlier.process.cpu_sys_ms").get() >= 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn auxv_reports_sane_constants() {
+        let (page_size, clk_tck) = auxv_values();
+        assert!(
+            page_size >= 1024 && page_size.is_power_of_two(),
+            "{page_size}"
+        );
+        assert!(clk_tck > 0 && clk_tck <= 10_000, "{clk_tck}");
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //!   `--metrics-out`)
 //! - `GET /status`   — the SLO report ([`crate::SloReport::to_json`];
 //!   `?format=text` for the human rendering)
+//! - `GET /profile`  — runs a span-stack sampling session
+//!   ([`crate::profile_for`]) and returns it; `?seconds=N` (default 2,
+//!   capped at 30), `?hz=N` (default 99, capped at 1000), and
+//!   `?format=folded|svg|json` select the window, rate, and rendering
+//!
+//! `/profile` blocks its worker for the whole sampling window by design —
+//! the pool has a second worker, so scrapes keep being answered beside a
+//! running profile.
 //!
 //! The HTTP mechanics (bounded request parsing, connection budget, worker
 //! threads, graceful drain) live in `hdoutlier-net`; this module is only
@@ -44,7 +52,7 @@ pub fn telemetry_response(
 ) -> Option<Response> {
     if !matches!(
         request.path.as_str(),
-        "/metrics" | "/healthz" | "/snapshot" | "/status"
+        "/metrics" | "/healthz" | "/snapshot" | "/status" | "/profile"
     ) {
         return None;
     }
@@ -52,6 +60,7 @@ pub fn telemetry_response(
         return Some(Response::text(405, "only GET is supported\n"));
     }
     Some(match request.path.as_str() {
+        "/profile" => return Some(profile_response(request.query.as_deref())),
         "/metrics" => {
             refresh_process_metrics();
             Response {
@@ -86,6 +95,44 @@ pub fn telemetry_response(
             Response::ndjson(200, registry.snapshot_ndjson())
         }
     })
+}
+
+/// Handles `GET /profile`: parses the query, runs a blocking sampling
+/// session, and renders it. Unknown query keys are ignored (probe
+/// forgiveness); malformed values and unknown formats are a 400 so a typo
+/// doesn't silently profile with defaults.
+fn profile_response(query: Option<&str>) -> Response {
+    let mut seconds = 2.0f64;
+    let mut hz = 99u32;
+    let mut format = "folded";
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "seconds" => match value.parse::<f64>() {
+                Ok(s) if s > 0.0 && s.is_finite() => seconds = s.min(30.0),
+                _ => return Response::text(400, "seconds must be a positive number (max 30)\n"),
+            },
+            "hz" => match value.parse::<u32>() {
+                Ok(h) if h > 0 => hz = h.min(1000),
+                _ => return Response::text(400, "hz must be a positive integer (max 1000)\n"),
+            },
+            "format" => match value {
+                "folded" | "svg" | "json" => format = value,
+                _ => return Response::text(400, "format must be folded, svg, or json\n"),
+            },
+            _ => {}
+        }
+    }
+    let report = crate::profile::profile_for(Duration::from_secs_f64(seconds), hz);
+    match format {
+        "svg" => Response {
+            status: 200,
+            content_type: "image/svg+xml".to_string(),
+            body: report.to_svg().into_bytes(),
+        },
+        "json" => Response::json(200, report.to_json()),
+        _ => Response::text(200, report.to_folded()),
+    }
 }
 
 /// The [`ServerConfig`] the telemetry endpoint uses: a couple of workers,
@@ -256,6 +303,66 @@ mod tests {
         };
         let response = telemetry_response(&request, &TEST_REGISTRY, None).expect("owned path");
         assert_eq!(response.status, 200);
+    }
+
+    #[test]
+    fn profile_endpoint_samples_and_renders_each_format() {
+        let request = |query: Option<&str>| Request {
+            method: "GET".to_string(),
+            path: "/profile".to_string(),
+            query: query.map(|q| q.to_string()),
+            headers: vec![],
+            body: vec![],
+            http1_0: false,
+            request_id: "test".to_string(),
+        };
+        // Keep a span alive on a worker so the sample window sees a stack.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let worker_stop = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            while !worker_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _g = crate::profile_span("hdoutlier.httptest", "busy");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+
+        let folded =
+            telemetry_response(&request(Some("seconds=0.15&hz=500")), &TEST_REGISTRY, None)
+                .unwrap();
+        assert_eq!(folded.status, 200);
+        let folded_body = String::from_utf8(folded.body).unwrap();
+        assert!(
+            folded_body.contains("hdoutlier.httptest.busy"),
+            "{folded_body}"
+        );
+
+        let svg = telemetry_response(
+            &request(Some("seconds=0.15&hz=500&format=svg")),
+            &TEST_REGISTRY,
+            None,
+        )
+        .unwrap();
+        assert_eq!(svg.content_type, "image/svg+xml");
+        let svg_body = String::from_utf8(svg.body).unwrap();
+        assert!(svg_body.starts_with("<?xml"), "{svg_body}");
+        assert!(svg_body.trim_end().ends_with("</svg>"), "{svg_body}");
+
+        let json = telemetry_response(
+            &request(Some("format=json&seconds=0.1&hz=500")),
+            &TEST_REGISTRY,
+            None,
+        )
+        .unwrap();
+        assert_eq!(json.content_type, "application/json");
+        assert!(String::from_utf8(json.body).unwrap().contains("\"hz\":500"));
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        worker.join().unwrap();
+
+        for bad in ["format=gif", "seconds=-1", "seconds=forever", "hz=0"] {
+            let response = telemetry_response(&request(Some(bad)), &TEST_REGISTRY, None).unwrap();
+            assert_eq!(response.status, 400, "query {bad:?}");
+        }
     }
 
     #[test]

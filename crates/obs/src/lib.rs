@@ -26,6 +26,12 @@
 //!   `/snapshot` (NDJSON) on a background thread; a [`TraceBuffer`]
 //!   installed via [`set_trace_buffer`] collects every closed [`Span`] as
 //!   Chrome trace-event JSON loadable in Perfetto.
+//! - **Continuous profiling**: a [`ProfileSession`] samples every thread's
+//!   live span stack at a configurable rate and renders folded-stack text,
+//!   an in-tree SVG flamegraph, or JSON ([`ProfileReport`]); the optional
+//!   [`CountingAllocator`] attributes allocation bytes to the sampled
+//!   stacks and feeds the `hdoutlier.alloc.*` gauges. Served live at
+//!   `GET /profile?seconds=N&format=folded|svg|json`.
 //!
 //! Naming scheme: every event target and metric is
 //! `hdoutlier.<crate>.<name>` (see `docs/metrics.md` in the repo root for
@@ -47,6 +53,7 @@
 //! assert!(latency.snapshot().count == 1);
 //! ```
 
+mod alloc;
 mod ctx;
 mod dispatch;
 mod event;
@@ -54,10 +61,12 @@ mod expo;
 mod http;
 mod level;
 mod metrics;
+mod profile;
 mod sink;
 mod slo;
 mod trace;
 
+pub use alloc::{alloc_stats, AllocStats, CountingAllocator};
 pub use ctx::{current_request_ctx, set_request_ctx, RequestCtx, RequestCtxGuard};
 pub use dispatch::{
     enabled, event, install, max_level, set_max_level, set_timing, set_trace_buffer, span,
@@ -70,6 +79,10 @@ pub use level::{Level, ParseLevelError};
 pub use metrics::{
     refresh_process_metrics, registry, Counter, CounterVec, Gauge, GaugeVec, Histogram,
     HistogramSnapshot, HistogramVec, MetricSnapshot, Registry, SnapshotValue, DURATION_US_BOUNDS,
+};
+pub use profile::{
+    profile_enabled, profile_for, profile_span, ProfileGuard, ProfileReport, ProfileSession,
+    StackEntry, MAX_DEPTH as PROFILE_MAX_DEPTH,
 };
 pub use sink::{render_human, render_ndjson, CaptureSink, NdjsonSink, Sink, StderrSink};
 pub use slo::{SloEngine, SloKeyReport, SloReport, SloSample, SloThresholds, SloVerdict};

@@ -747,7 +747,11 @@ static PROCESS_START_SEEDED: std::sync::OnceLock<()> = std::sync::OnceLock::new(
 ///   dispatcher epoch, refreshed on every call (the `/metrics` server calls
 ///   this per scrape, so rates can be computed without client-side state);
 /// - `hdoutlier.process.start_ts_us` — counter, microseconds between the
-///   Unix epoch and process start, seeded exactly once.
+///   Unix epoch and process start, seeded exactly once;
+/// - the `hdoutlier.alloc.*` gauges (when the counting allocator is
+///   installed) and the `/proc`-backed process vitals
+///   (`hdoutlier.process.rss_bytes`, `cpu_user_ms`, `cpu_sys_ms` — Linux
+///   only), both refreshed per call.
 ///
 /// Called by [`crate::install`] and by the telemetry server before every
 /// snapshot; safe to call from anywhere, any number of times.
@@ -756,6 +760,8 @@ pub fn refresh_process_metrics() {
     registry()
         .gauge("hdoutlier.process.uptime_seconds")
         .set((up_us / 1_000_000) as i64);
+    crate::alloc::refresh_alloc_metrics();
+    crate::expo::refresh_process_vitals();
     PROCESS_START_SEEDED.get_or_init(|| {
         let now_unix_us = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)

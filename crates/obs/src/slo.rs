@@ -500,10 +500,93 @@ mod tests {
         assert_eq!(report.overall, SloVerdict::Healthy);
     }
 
+    /// The dispatcher is process-global, so the tests that install a
+    /// capture sink serialize against each other here.
+    static SINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn empty_window_reports_zero_rates_and_stays_healthy() {
+        let e = engine(0.05, 250_000.0);
+        // A key that has registered but never moved: zero totals at both
+        // ends of the window must not divide by zero or breach anything.
+        e.observe_at("idle", sample(0, 0, &[]), 1_000_000);
+        e.observe_at("idle", sample(0, 0, &[]), 2_000_000);
+        let report = e.evaluate();
+        assert_eq!(report.overall, SloVerdict::Healthy);
+        let k = &report.keys[0];
+        assert_eq!((k.total, k.errors), (0, 0));
+        assert_eq!(k.error_rate, 0.0);
+        assert_eq!(k.per_sec, 0.0);
+        assert_eq!(k.p99_us, None, "no observations means no p99 estimate");
+    }
+
+    #[test]
+    fn total_failure_window_is_judged_against_the_error_budget() {
+        // Every unit in the window failed: rate exactly 1.0, far past a 5%
+        // budget → unhealthy.
+        let e = engine(0.05, 250_000.0);
+        e.observe_at("down", sample(0, 0, &[]), 1_000_000);
+        e.observe_at("down", sample(40, 40, &[]), 31_000_000);
+        let report = e.evaluate();
+        let k = &report.keys[0];
+        assert_eq!(k.error_rate, 1.0);
+        assert_eq!(k.verdict, SloVerdict::Unhealthy);
+        assert_eq!(report.overall, SloVerdict::Unhealthy);
+
+        // A zero error budget treats any error at all as an infinite
+        // breach factor rather than a division blowup.
+        let strict = engine(0.0, 250_000.0);
+        strict.observe_at("one", sample(1000, 1, &[]), 1_000_000);
+        assert_eq!(strict.evaluate().overall, SloVerdict::Unhealthy);
+
+        // ...while a 100%-error window under a budget of 1.0 sits exactly
+        // on the boundary, and the boundary is healthy by contract.
+        let tolerant = engine(1.0, 250_000.0);
+        tolerant.observe_at("all", sample(40, 40, &[]), 1_000_000);
+        assert_eq!(tolerant.evaluate().overall, SloVerdict::Healthy);
+    }
+
+    #[test]
+    fn hysteresis_orders_breach_before_recovery_and_skips_half_steps() {
+        use crate::sink::CaptureSink;
+        use std::sync::Arc;
+        let _guard = SINK_LOCK.lock().unwrap();
+        let capture = Arc::new(CaptureSink::default());
+        crate::install(capture.clone(), Level::Info);
+        let e = engine(0.05, 1e12);
+        // Healthy → unhealthy: one breach event.
+        e.observe_at("hyst", sample(100, 50, &[]), 1_000_000);
+        e.evaluate();
+        // Unhealthy → degraded: an improvement, but not a recovery —
+        // the engine stays silent until the key is actually healthy.
+        e.observe_at("hyst", sample(2_000, 190, &[]), 2_000_000);
+        e.evaluate();
+        // Degraded → healthy: one recovery event, after the breach.
+        e.observe_at("hyst", sample(100_000, 200, &[]), 3_000_000);
+        e.evaluate();
+        crate::uninstall();
+        let lines: Vec<String> = capture
+            .lines()
+            .iter()
+            .filter(|l| l.contains("\"key\":\"hyst\""))
+            .cloned()
+            .collect();
+        let breach = lines.iter().position(|l| l.contains("slo_breach"));
+        let recovery = lines.iter().position(|l| l.contains("slo_recovered"));
+        assert_eq!(
+            lines.len(),
+            2,
+            "exactly one breach + one recovery: {lines:?}"
+        );
+        assert!(breach.unwrap() < recovery.unwrap(), "{lines:?}");
+        assert!(lines[breach.unwrap()].contains("unhealthy"));
+    }
+
     #[test]
     fn transitions_emit_breach_and_recovery_events() {
         use crate::sink::CaptureSink;
         use std::sync::Arc;
+        let _guard = SINK_LOCK.lock().unwrap();
         let capture = Arc::new(CaptureSink::default());
         crate::install(capture.clone(), Level::Info);
         let e = engine(0.05, 1e12);

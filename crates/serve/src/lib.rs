@@ -18,9 +18,11 @@
 //! - `POST /sessions/{id}/checkpoint` — force an atomic checkpoint now;
 //! - `DELETE /sessions/{id}` — final checkpoint, then remove;
 //! - `POST /shutdown` — request a graceful drain (same effect as SIGTERM);
-//! - `GET /metrics` / `/healthz` / `/snapshot` / `/status` — the shared
-//!   telemetry responder from [`hdoutlier_obs`]; `/status` renders the SLO
-//!   engine's live verdict and `/healthz` turns `503` when it is unhealthy.
+//! - `GET /metrics` / `/healthz` / `/snapshot` / `/status` / `/profile` —
+//!   the shared telemetry responder from [`hdoutlier_obs`]; `/status`
+//!   renders the SLO engine's live verdict, `/healthz` turns `503` when it
+//!   is unhealthy, and `/profile?seconds=N&format=folded|svg|json` runs a
+//!   live span-stack sampling session against the scoring traffic.
 //!
 //! Every request is identified: the `X-Request-Id` assigned by
 //! [`hdoutlier_net`] (client-supplied or generated) is installed as the
@@ -137,6 +139,7 @@ fn route_of(path: &str) -> &'static str {
         "/healthz" => "/healthz",
         "/snapshot" => "/snapshot",
         "/status" => "/status",
+        "/profile" => "/profile",
         _ => match path.strip_prefix("/sessions/") {
             None => "other",
             Some(rest) => match rest.split_once('/') {

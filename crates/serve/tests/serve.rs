@@ -467,6 +467,65 @@ fn router_rejects_what_it_should() {
 }
 
 #[test]
+fn profile_endpoint_renders_svg_and_folded_under_live_scoring() {
+    let (model, ds) = fitted(223);
+    let app = ServeApp::new(ServeConfig::default());
+    assert_eq!(
+        app.handle(&req(
+            "POST",
+            "/sessions",
+            create_body(&model, "\"id\": \"p\"")
+        ))
+        .status,
+        201
+    );
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (svg, folded) = std::thread::scope(|scope| {
+        // Keep the scoring route hot so the sampling window observes the
+        // serve request span stack.
+        scope.spawn(|| {
+            let rows = ndjson_rows(&ds, 0..50);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let response = app.handle(&req("POST", "/sessions/p/score", rows.clone()));
+                assert_eq!(response.status, 200);
+            }
+        });
+        let svg = app.handle(&Request {
+            query: Some("seconds=0.4&hz=500&format=svg".to_string()),
+            ..req("GET", "/profile", "")
+        });
+        let folded = app.handle(&Request {
+            query: Some("seconds=0.3&hz=500".to_string()),
+            ..req("GET", "/profile", "")
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (svg, folded)
+    });
+
+    assert_eq!(svg.status, 200);
+    assert_eq!(svg.content_type, "image/svg+xml");
+    let svg_body = String::from_utf8(svg.body).unwrap();
+    assert!(svg_body.starts_with("<?xml"), "{svg_body}");
+    assert!(svg_body.contains("<svg xmlns="), "{svg_body}");
+    assert!(svg_body.trim_end().ends_with("</svg>"), "{svg_body}");
+
+    assert_eq!(folded.status, 200);
+    let folded_body = String::from_utf8(folded.body).unwrap();
+    assert!(
+        folded_body.contains("hdoutlier.serve.request"),
+        "no serve frame in folded output:\n{folded_body}"
+    );
+
+    // A bad format is a 400, not a silent default.
+    let bad = app.handle(&Request {
+        query: Some("format=gif".to_string()),
+        ..req("GET", "/profile", "")
+    });
+    assert_eq!(bad.status, 400);
+}
+
+#[test]
 fn drain_checkpoints_every_session_and_closes_the_listener() {
     let (model, ds) = fitted(109);
     let dir = temp_dir("drain");

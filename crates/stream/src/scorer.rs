@@ -188,6 +188,10 @@ impl OnlineScorer {
     /// nothing — which is what lets [`OnlineScorer::score_batch`] fan it out
     /// across pool workers without changing any answer.
     fn score_readonly(&self, row: &[f64]) -> Result<ScoredRecord, DataError> {
+        // Profiler-only frame (one relaxed load when profiling is off):
+        // attributes batch-scoring samples to the read-only phase on
+        // whichever pool worker runs it.
+        let _score = obs::profile_span(TARGET, "score");
         let cells = self.model.grid().assign_row(row)?;
         let matches = self.model.matches(row)?;
         let score = matches
