@@ -49,6 +49,18 @@ cargo test -q --offline -p hdoutlier-net --test http
 cargo test -q --offline -p hdoutlier-serve --test serve
 cargo test -q --offline -p hdoutlier-cli --test serve_e2e
 
+# Overload & crash chaos harness: deterministic scripted fault clients
+# against the HTTP server — stalled heads past the wall-clock deadline,
+# torn mid-body writes, vanishing clients, burst floods past the
+# connection budget, and a mixed storm that must never pin a worker
+# (crates/net/tests/chaos.rs) — then the serve-level drills: duplicate
+# X-Request-Id retries replay byte-identical without re-scoring, SLO- and
+# concurrency-cap shedding with 503 + Retry-After and recovery, and
+# checkpoint corruption / kill-during-save recovery via the .prev
+# generation with .corrupt quarantine (crates/serve/tests/chaos.rs).
+cargo test -q --offline -p hdoutlier-net --test chaos
+cargo test -q --offline -p hdoutlier-serve --test chaos
+
 # Continuous profiling: the span-stack sampling profiler end to end — the
 # compiled binary under `detect --profile-out --profile-hz` must write
 # non-empty folded stacks naming a hdoutlier.core.* frame, plus the

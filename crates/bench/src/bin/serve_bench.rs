@@ -27,6 +27,7 @@ use hdoutlier_bench::bench_json::{BenchReport, Percentiles};
 use hdoutlier_core::{OutlierDetector, SearchMethod};
 use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
 use hdoutlier_json::Json;
+use hdoutlier_net::retry::{Backoff, RetryPolicy};
 use hdoutlier_net::ServerConfig;
 use hdoutlier_serve::{ServeConfig, ServeHandle};
 use std::io::{Read, Write};
@@ -121,18 +122,21 @@ fn main() {
     conn.set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     let create = format!("{{\"id\": \"bench\", \"batch\": 64, \"model\": {model_json}}}");
-    let (status, _) = request(&mut conn, "POST", "/sessions", &create);
+    let (status, _, _) = request(&mut conn, "POST", "/sessions", &create, None);
     assert_eq!(status, 201, "session create failed");
 
     // Warm-up request (connection, page faults, lazy init), untimed.
-    let (status, _) = request(&mut conn, "POST", "/sessions/bench/score", &bodies[0]);
+    let (status, _) = score(&mut conn, &bodies[0], "bench-warmup");
     assert_eq!(status, 200);
 
     let mut latencies_us: Vec<f64> = Vec::with_capacity(n_requests);
     let started = Instant::now();
-    for body in &bodies {
+    for (r, body) in bodies.iter().enumerate() {
         let t0 = Instant::now();
-        let (status, _) = request(&mut conn, "POST", "/sessions/bench/score", body);
+        // A fresh X-Request-Id per logical request; shed 503s are retried
+        // under the same id, so the time a shedding server costs the
+        // client (backoff included) lands in this request's latency.
+        let (status, _) = score(&mut conn, body, &format!("bench-{r}"));
         assert_eq!(status, 200, "scoring request failed");
         latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }
@@ -212,11 +216,46 @@ fn baseline_score_us(path: &str) -> Result<f64, String> {
         .ok_or_else(|| "no serve.score stage with us_per_record".to_string())
 }
 
-/// One keep-alive HTTP request; returns `(status, body)`.
-fn request(conn: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One score POST with the idempotent-retry discipline: the request id is
+/// reused verbatim across retries, and each `503`'s `Retry-After` floors a
+/// decorrelated backoff delay. On a healthy server this is one request.
+fn score(conn: &mut TcpStream, body: &str, request_id: &str) -> (u16, String) {
+    let seed = request_id.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    let mut backoff = Backoff::new(RetryPolicy::default(), seed);
+    loop {
+        let (status, retry_after, payload) = request(
+            conn,
+            "POST",
+            "/sessions/bench/score",
+            body,
+            Some(request_id),
+        );
+        if status != 503 {
+            return (status, payload);
+        }
+        match backoff.next_delay(retry_after) {
+            Some(delay) => std::thread::sleep(delay),
+            None => return (status, payload),
+        }
+    }
+}
+
+/// One keep-alive HTTP request; returns `(status, retry_after, body)`.
+fn request(
+    conn: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    request_id: Option<&str>,
+) -> (u16, Option<Duration>, String) {
+    let id_header = request_id
+        .map(|id| format!("X-Request-Id: {id}\r\n"))
+        .unwrap_or_default();
     conn.write_all(
         format!(
-            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\n{id_header}Content-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -244,7 +283,17 @@ fn request(conn: &mut TcpStream, method: &str, path: &str, body: &str) -> (u16, 
                 .then(|| value.trim().parse().expect("numeric length"))
         })
         .expect("content-length header");
+    let retry_after = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| hdoutlier_net::retry::parse_retry_after(value))
+            .flatten()
+    });
     let mut payload = vec![0u8; length];
     conn.read_exact(&mut payload).expect("body read");
-    (status, String::from_utf8(payload).expect("utf8 body"))
+    (
+        status,
+        retry_after,
+        String::from_utf8(payload).expect("utf8 body"),
+    )
 }

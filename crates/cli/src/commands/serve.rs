@@ -68,6 +68,20 @@ OPTIONS:
                          records per session (default 0.05)
     --slo-p99-ms <ms>    tolerated per-route p99 request latency in
                          milliseconds (default 250)
+    --request-deadline-ms <ms>  wall-clock budget for receiving a request
+                         head and, separately, its body; a client that
+                         trickles bytes past it gets 408 and the connection
+                         closes (defaults: head 10000, body 30000)
+    --no-slo-shed        do not shed score requests while the score route's
+                         SLO verdict is unhealthy (shedding is on by default)
+    --shed-max-inflight <n>  also shed score requests beyond <n> executing
+                         concurrently (default 0 = no cap)
+    --shed-retry-after-ms <ms>  Retry-After delay stamped on shed/draining
+                         503 responses (default 1000)
+    --replay-cache <n>   per-session idempotency cache entries: score
+                         responses remembered by client-supplied
+                         X-Request-Id so retries replay instead of
+                         re-scoring (default 64; 0 disables)
     --log-level <l>      emit pipeline events on stderr (error|warn|info|debug|trace)
     --log-json           render events as NDJSON instead of human-readable text
     --metrics-out <p>    enable timing metrics, snapshot to <p> after drain
@@ -102,8 +116,12 @@ pub fn run_with_ready(argv: &[String], on_ready: impl FnOnce(SocketAddr) + Send)
             "max-body-bytes",
             "slo-error-rate",
             "slo-p99-ms",
+            "request-deadline-ms",
+            "shed-max-inflight",
+            "shed-retry-after-ms",
+            "replay-cache",
         ],
-        &[],
+        &["no-slo-shed"],
     );
     let parsed = match parse_or_usage(&spec, argv, HELP) {
         Ok(p) => p,
@@ -190,6 +208,41 @@ fn serve_under_session(parsed: &Parsed, on_ready: impl FnOnce(SocketAddr) + Send
                 format!("--slo-p99-ms must be a positive number, got {ms}\n\n{HELP}"),
             )
         }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    match parsed.opt::<u64>("request-deadline-ms", "integer") {
+        Ok(Some(0)) => {
+            return (
+                exit::USAGE,
+                format!("--request-deadline-ms must be >= 1\n\n{HELP}"),
+            )
+        }
+        Ok(Some(ms)) => {
+            config.http.head_deadline = Duration::from_millis(ms);
+            config.http.body_deadline = Duration::from_millis(ms);
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    config.shed_on_unhealthy = !parsed.has("no-slo-shed");
+    match parsed.opt::<usize>("shed-max-inflight", "integer") {
+        Ok(Some(n)) => config.shed_max_inflight = n,
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    match parsed.opt::<u64>("shed-retry-after-ms", "integer") {
+        Ok(Some(ms)) => {
+            config.shed_retry_after = Duration::from_millis(ms);
+            // The net layer's own 503s (connection budget) advertise the
+            // same back-off.
+            config.http.retry_after = Duration::from_millis(ms);
+        }
+        Ok(None) => {}
+        Err(e) => return super::usage_err(e, HELP),
+    }
+    match parsed.opt::<usize>("replay-cache", "integer") {
+        Ok(Some(n)) => config.replay_cache = n,
         Ok(None) => {}
         Err(e) => return super::usage_err(e, HELP),
     }

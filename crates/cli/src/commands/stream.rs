@@ -259,10 +259,33 @@ fn stream_under_session(
     let mut skipped_total = 0u64;
     let mut quarantined_total = 0u64;
     if let Some(path) = parsed.get("resume") {
-        let cp = match Checkpoint::load(std::path::Path::new(path)) {
-            Ok(cp) => cp,
+        let (cp, recovered) = match Checkpoint::load_with_recovery(std::path::Path::new(path)) {
+            Ok(loaded) => loaded,
             Err(e) => return (exit::RUNTIME, format!("cannot resume from {path}: {e}")),
         };
+        if let hdoutlier_stream::RecoveredFrom::Previous { quarantined } = &recovered {
+            // The primary was corrupt or missing; say so loudly — the
+            // resumed run is one checkpoint generation behind.
+            match quarantined {
+                Some(corrupt) => eprintln!(
+                    "stream: checkpoint {path} was unreadable (quarantined to {}); \
+                     resumed from its .prev generation",
+                    corrupt.display()
+                ),
+                None => eprintln!(
+                    "stream: checkpoint {path} was missing; resumed from its .prev generation"
+                ),
+            }
+            obs::event(
+                obs::Level::Warn,
+                TARGET,
+                "checkpoint_recovered",
+                &[
+                    ("from", obs::Value::Str("prev")),
+                    ("quarantined", obs::Value::Bool(quarantined.is_some())),
+                ],
+            );
+        }
         if let Err(e) = cp.restore(&mut scorer) {
             return (exit::RUNTIME, format!("cannot resume from {path}: {e}"));
         }

@@ -18,6 +18,15 @@
 //!   [`ServerConfig::max_body_bytes`] answer `413`, a body without a
 //!   length answers `411`, and anything malformed answers `400` — all
 //!   without allocating proportional to the hostile input.
+//! - **Wall-clock deadlines.** The per-read [`ServerConfig::io_timeout`]
+//!   only bounds *silence*; a slowloris client that dribbles one byte per
+//!   read resets it forever. So each phase also has a deadline — a head
+//!   must finish arriving within [`ServerConfig::head_deadline`] of its
+//!   first byte, a declared body within [`ServerConfig::body_deadline`] of
+//!   the head completing, and a whole connection is capped at
+//!   [`ServerConfig::connection_lifetime`]. Expiry answers `408` with
+//!   `Connection: close` (idle keep-alive connections are closed silently),
+//!   so no client can pin a worker past its budget.
 //! - **A bounded connection budget.** One accept thread pushes connections
 //!   onto a queue of depth [`ServerConfig::queue_depth`] drained by
 //!   [`ServerConfig::workers`] handler threads. A slow or stuck client
@@ -40,7 +49,9 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+pub mod retry;
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -91,6 +102,9 @@ pub struct Response {
     pub content_type: String,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Extra headers beyond the framing set (`Retry-After`, …). Names and
+    /// values are written verbatim; callers must not include CR/LF.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -100,6 +114,7 @@ impl Response {
             status,
             content_type: "text/plain".to_string(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -109,6 +124,7 @@ impl Response {
             status,
             content_type: "application/json".to_string(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -118,7 +134,32 @@ impl Response {
             status,
             content_type: "application/x-ndjson".to_string(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Overrides the `Content-Type` (builder style), for media types the
+    /// [`Response::text`]/[`Response::json`]/[`Response::ndjson`]
+    /// constructors don't cover.
+    #[must_use]
+    pub fn with_content_type(mut self, content_type: impl Into<String>) -> Self {
+        self.content_type = content_type.into();
+        self
+    }
+
+    /// Adds an extra response header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a `Retry-After: <seconds>` header — the contract every shedding
+    /// or over-budget `503` honors so clients built on [`retry::Backoff`]
+    /// know how long to stay away.
+    #[must_use]
+    pub fn with_retry_after(self, delay: Duration) -> Self {
+        self.with_header("Retry-After", delay.as_secs().max(1).to_string())
     }
 
     /// The canonical reason phrase for a status code.
@@ -131,9 +172,11 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             411 => "Length Required",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -159,6 +202,24 @@ pub struct ServerConfig {
     /// Requests served per connection before it is closed; `1` disables
     /// keep-alive entirely (scrape-and-close behavior).
     pub max_requests_per_connection: usize,
+    /// Wall-clock budget for reading one request head. Unlike
+    /// [`ServerConfig::io_timeout`] — which a slow-trickle client resets
+    /// with every byte — this is a deadline: when the head has not finished
+    /// arriving within it, the request is answered `408` and the connection
+    /// closed (or, when no byte ever arrived, the idle connection is simply
+    /// closed).
+    pub head_deadline: Duration,
+    /// Wall-clock budget for reading the declared body once the head is
+    /// complete; `408` on expiry.
+    pub body_deadline: Duration,
+    /// Cap on one connection's total lifetime across keep-alive requests.
+    /// A connection past it is closed after the in-flight response (or
+    /// immediately when idle) — no single peer can hold a worker's socket
+    /// forever.
+    pub connection_lifetime: Duration,
+    /// The `Retry-After` hint attached to connection-budget `503` refusals
+    /// (rounded up to whole seconds, minimum 1).
+    pub retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -170,6 +231,10 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             io_timeout: Duration::from_secs(10),
             max_requests_per_connection: 256,
+            head_deadline: Duration::from_secs(10),
+            body_deadline: Duration::from_secs(30),
+            connection_lifetime: Duration::from_secs(600),
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -185,6 +250,9 @@ pub struct ServerStats {
     pub rejected: AtomicU64,
     /// Requests answered with a parse-level error (`400`/`411`/`413`/`431`).
     pub bad_requests: AtomicU64,
+    /// Requests answered `408` because a wall-clock deadline expired
+    /// (head or body still incomplete at its budget).
+    pub deadline_expired: AtomicU64,
 }
 
 /// The handler a [`Server`] routes every parsed request through.
@@ -357,10 +425,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             // Refuse in-line rather than queueing unboundedly; the write is
             // best-effort (a client that already gave up is not our problem).
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
             let _ = write_response(
                 &mut stream,
-                &Response::text(503, "server is at its connection budget; retry\n"),
+                &Response::text(503, "server is at its connection budget; retry\n")
+                    .with_retry_after(shared.config.retry_after),
                 false,
                 // The head was never read, so there is no client id to echo;
                 // a generated one still lets the client pin the refusal to
@@ -415,21 +484,25 @@ enum ReadOutcome {
     Io,
 }
 
-/// Serves requests on one connection until close/limit/stop.
+/// Serves requests on one connection until close/limit/lifetime/stop.
 fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(shared.config.io_timeout))?;
     stream.set_write_timeout(Some(shared.config.io_timeout))?;
+    let opened = Instant::now();
+    let lifetime_over =
+        |at: Instant| at.duration_since(opened) >= shared.config.connection_lifetime;
     let mut served = 0usize;
     loop {
-        match read_request(stream, &shared.config) {
+        match read_request(stream, &shared.config, opened) {
             ReadOutcome::Request(request) => {
                 served += 1;
                 let response = (shared.handler)(&request);
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 // Keep-alive only when the client allows it, the per-
-                // connection budget has room, and the server is not draining.
+                // connection budget and lifetime have room, and the server
+                // is not draining.
                 let keep_alive = wants_keep_alive(&request)
                     && served < shared.config.max_requests_per_connection
+                    && !lifetime_over(Instant::now())
                     && !shared.stop.load(Ordering::SeqCst);
                 write_response(stream, &response, keep_alive, Some(&request.request_id))?;
                 if !keep_alive {
@@ -438,7 +511,14 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> std::io::Result<
             }
             ReadOutcome::Closed => return Ok(()),
             ReadOutcome::Reject(status, message, request_id) => {
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if status == 408 {
+                    shared
+                        .stats
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                }
                 let body = format!("{message}\n");
                 return write_response(
                     stream,
@@ -469,13 +549,71 @@ fn wants_keep_alive(request: &Request) -> bool {
     !request.http1_0
 }
 
+/// How one deadline-bounded read ended.
+enum DeadlineRead {
+    /// Bytes arrived.
+    Bytes(usize),
+    /// Clean EOF.
+    Eof,
+    /// The wall-clock deadline (or one `io_timeout` of total silence)
+    /// expired with the read still incomplete.
+    Stalled,
+    /// A non-timeout I/O failure (reset, shutdown race).
+    Failed,
+}
+
+/// One read bounded by both the per-read `io_timeout` and an absolute
+/// `deadline`: the socket timeout is re-armed to whichever expires first,
+/// so a client trickling one byte per read can reset the io_timeout as
+/// often as it likes and still runs out of wall clock.
+fn read_with_deadline(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+    io_timeout: Duration,
+) -> DeadlineRead {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return DeadlineRead::Stalled;
+    }
+    if stream
+        .set_read_timeout(Some(remaining.min(io_timeout)))
+        .is_err()
+    {
+        return DeadlineRead::Failed;
+    }
+    match stream.read(chunk) {
+        Ok(0) => DeadlineRead::Eof,
+        Ok(n) => DeadlineRead::Bytes(n),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) =>
+        {
+            DeadlineRead::Stalled
+        }
+        Err(_) => DeadlineRead::Failed,
+    }
+}
+
 /// Incrementally reads one request (head + optional body) off the stream.
 /// Tolerates any packet fragmentation: reads repeat until the head's blank
-/// line, then until `Content-Length` bytes of body have arrived.
-fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
+/// line, then until `Content-Length` bytes of body have arrived — but each
+/// phase is bounded by a wall-clock deadline ([`ServerConfig::head_deadline`]
+/// from the first head byte, [`ServerConfig::body_deadline`] from the end of
+/// the head, both capped by the connection lifetime remaining since
+/// `opened`), answering `408` on expiry.
+fn read_request(stream: &mut TcpStream, config: &ServerConfig, opened: Instant) -> ReadOutcome {
+    let conn_deadline = opened + config.connection_lifetime;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
-    // --- Head: read until CRLFCRLF (or LFLF), bounded. ---
+    // --- Head: read until CRLFCRLF (or LFLF), bounded in bytes and time.
+    // The head deadline arms at the first byte, not at call time, so a
+    // connection idling between keep-alive requests spends io_timeout (not
+    // head budget) waiting — but once a request starts arriving, it must
+    // finish arriving inside the budget no matter how it trickles.
+    let mut head_deadline: Option<Instant> = None;
     let head_end = loop {
         if let Some(end) = find_head_end(&buf) {
             break end;
@@ -487,8 +625,9 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
                 generate_request_id(),
             );
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
+        let deadline = head_deadline.map_or(conn_deadline, |d| d.min(conn_deadline));
+        match read_with_deadline(stream, &mut chunk, deadline, config.io_timeout) {
+            DeadlineRead::Eof => {
                 if buf.is_empty() {
                     return ReadOutcome::Closed;
                 }
@@ -498,12 +637,30 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
                     generate_request_id(),
                 );
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => {
+            DeadlineRead::Bytes(n) => {
+                if head_deadline.is_none() {
+                    head_deadline = Some(Instant::now() + config.head_deadline);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            DeadlineRead::Stalled => {
+                // An idle keep-alive connection (no request byte yet) is
+                // closed silently; a half-sent head gets the 408.
                 return if buf.is_empty() {
                     ReadOutcome::Io
                 } else {
-                    ReadOutcome::Reject(400, "timed out mid-request-head", generate_request_id())
+                    ReadOutcome::Reject(
+                        408,
+                        "request head deadline exceeded",
+                        generate_request_id(),
+                    )
+                };
+            }
+            DeadlineRead::Failed => {
+                return if buf.is_empty() {
+                    ReadOutcome::Io
+                } else {
+                    ReadOutcome::Reject(400, "I/O failure mid-request-head", generate_request_id())
                 }
             }
         }
@@ -580,11 +737,21 @@ fn read_request(stream: &mut TcpStream, config: &ServerConfig) -> ReadOutcome {
         return ReadOutcome::Io;
     }
     let mut body: Vec<u8> = rest[head_end.skip..].to_vec();
+    // The body budget starts once the head is complete: a client that
+    // promised Content-Length bytes must deliver them all inside it.
+    let body_deadline = (Instant::now() + config.body_deadline).min(conn_deadline);
     while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return ReadOutcome::Reject(400, "connection closed mid-body", request_id),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => return ReadOutcome::Reject(400, "timed out mid-body", request_id),
+        match read_with_deadline(stream, &mut chunk, body_deadline, config.io_timeout) {
+            DeadlineRead::Eof => {
+                return ReadOutcome::Reject(400, "connection closed mid-body", request_id)
+            }
+            DeadlineRead::Bytes(n) => body.extend_from_slice(&chunk[..n]),
+            DeadlineRead::Stalled => {
+                return ReadOutcome::Reject(408, "request body deadline exceeded", request_id)
+            }
+            DeadlineRead::Failed => {
+                return ReadOutcome::Reject(400, "I/O failure mid-body", request_id)
+            }
         }
     }
     if body.len() > content_length {
@@ -647,13 +814,21 @@ fn write_response(
         Some(id) => format!("X-Request-Id: {id}\r\n"),
         None => String::new(),
     };
+    let mut extra = String::new();
+    for (name, value) in &response.headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
     let header = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         response.status,
         Response::reason(response.status),
         response.content_type,
         response.body.len(),
         id_header,
+        extra,
         if keep_alive { "keep-alive" } else { "close" },
     );
     // One write for head + body: two small writes on a Nagle-enabled socket

@@ -1,0 +1,195 @@
+//! Client-side retry pacing: exponential backoff with decorrelated jitter
+//! that honors server `Retry-After` hints.
+//!
+//! The server side of this crate sheds load with `503 + Retry-After` and
+//! expires stalled requests with `408`; this module is the matching client
+//! discipline, so every in-tree client (`examples/serve_client.rs`,
+//! `serve_bench`, tests) backs off the same way instead of hammering a
+//! shedding server in lockstep. The schedule is the "decorrelated jitter"
+//! variant: each delay is drawn uniformly from `[base, 3 × previous]`,
+//! capped at `cap` — it spreads a thundering herd apart (pure exponential
+//! backoff keeps retrying clients synchronized) while still growing fast
+//! enough to drain an overload. A server `Retry-After` acts as a floor:
+//! the client never comes back sooner than the server asked.
+//!
+//! Retries are only safe against `hdoutlier serve` when the request is
+//! idempotent. Score POSTs become idempotent by sending an `X-Request-Id`:
+//! the server's per-session replay cache returns the original verdict
+//! batch for a duplicate id instead of scoring the records twice — so a
+//! client must reuse the *same* id across retries of one logical request
+//! and a *fresh* id for each new one.
+
+use hdoutlier_rng::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+use std::time::Duration;
+
+/// The retry schedule's shape.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// The minimum (and first) delay.
+    pub base: Duration,
+    /// The maximum delay any single wait is clamped to.
+    pub cap: Duration,
+    /// Retries allowed after the initial attempt; when exhausted,
+    /// [`Backoff::next_delay`] returns `None` and the caller gives up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            max_retries: 5,
+        }
+    }
+}
+
+/// One request's retry state: feed it each failure, sleep what it returns.
+///
+/// ```
+/// use hdoutlier_net::retry::{Backoff, RetryPolicy};
+/// let mut backoff = Backoff::new(RetryPolicy::default(), 42);
+/// // on a 503: parse the server's Retry-After and ask for the next delay
+/// if let Some(delay) = backoff.next_delay(Some(std::time::Duration::from_secs(1))) {
+///     assert!(delay >= std::time::Duration::from_secs(1));
+///     // std::thread::sleep(delay); then retry with the SAME X-Request-Id
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    prev: Duration,
+    retries_left: u32,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl Backoff {
+    /// A fresh schedule. `seed` decorrelates concurrent clients (hash a
+    /// request id, a pid, a worker index — anything that differs between
+    /// them); the same seed replays the same schedule, which keeps tests
+    /// deterministic.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        let prev = policy.base;
+        let retries_left = policy.max_retries;
+        Backoff {
+            policy,
+            prev,
+            retries_left,
+            rng: Xoshiro256PlusPlus::seed_from_u64(seed),
+        }
+    }
+
+    /// Retries not yet consumed.
+    pub fn retries_left(&self) -> u32 {
+        self.retries_left
+    }
+
+    /// The next delay to sleep before retrying, or `None` when the retry
+    /// budget is exhausted. `retry_after` is the server's hint (from a
+    /// `Retry-After` header, via [`parse_retry_after`]) and floors the
+    /// returned delay — jitter can wait longer than asked, never shorter.
+    pub fn next_delay(&mut self, retry_after: Option<Duration>) -> Option<Duration> {
+        if self.retries_left == 0 {
+            return None;
+        }
+        self.retries_left -= 1;
+        // Decorrelated jitter: uniform in [base, prev * 3], clamped to cap.
+        let base_us = self.policy.base.as_micros() as u64;
+        let high_us = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .max(base_us);
+        let span = high_us - base_us;
+        let drawn_us = base_us
+            + if span == 0 {
+                0
+            } else {
+                self.rng.next_u64() % (span + 1)
+            };
+        let jittered = Duration::from_micros(drawn_us).min(self.policy.cap);
+        self.prev = jittered;
+        Some(jittered.max(retry_after.unwrap_or(Duration::ZERO)))
+    }
+}
+
+/// Parses a `Retry-After` header value in its delta-seconds form (the only
+/// form this workspace's servers emit). HTTP-date values and garbage parse
+/// to `None` — the caller falls back to pure backoff.
+pub fn parse_retry_after(value: &str) -> Option<Duration> {
+    value.trim().parse::<u64>().ok().map(Duration::from_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_inside_base_and_cap() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(400),
+            max_retries: 32,
+        };
+        let mut backoff = Backoff::new(policy.clone(), 7);
+        while let Some(delay) = backoff.next_delay(None) {
+            assert!(delay >= policy.base, "{delay:?} under base");
+            assert!(delay <= policy.cap, "{delay:?} over cap");
+        }
+    }
+
+    #[test]
+    fn budget_exhausts_after_max_retries() {
+        let mut backoff = Backoff::new(
+            RetryPolicy {
+                max_retries: 3,
+                ..RetryPolicy::default()
+            },
+            1,
+        );
+        assert_eq!(backoff.retries_left(), 3);
+        for _ in 0..3 {
+            assert!(backoff.next_delay(None).is_some());
+        }
+        assert!(backoff.next_delay(None).is_none());
+        assert!(backoff.next_delay(None).is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn retry_after_floors_the_delay() {
+        let mut backoff = Backoff::new(
+            RetryPolicy {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(10),
+                max_retries: 4,
+            },
+            9,
+        );
+        // The cap is 10ms but the server asked for 2s: the server wins.
+        let delay = backoff.next_delay(Some(Duration::from_secs(2))).unwrap();
+        assert!(delay >= Duration::from_secs(2));
+        // Without a hint the schedule returns to its own (capped) range.
+        let delay = backoff.next_delay(None).unwrap();
+        assert!(delay <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let policy = RetryPolicy::default();
+        let mut a = Backoff::new(policy.clone(), 1234);
+        let mut b = Backoff::new(policy.clone(), 1234);
+        let mut c = Backoff::new(policy, 4321);
+        let schedule_a: Vec<_> = std::iter::from_fn(|| a.next_delay(None)).collect();
+        let schedule_b: Vec<_> = std::iter::from_fn(|| b.next_delay(None)).collect();
+        let schedule_c: Vec<_> = std::iter::from_fn(|| c.next_delay(None)).collect();
+        assert_eq!(schedule_a, schedule_b);
+        assert_ne!(schedule_a, schedule_c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn retry_after_parses_delta_seconds_only() {
+        assert_eq!(parse_retry_after("2"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_retry_after(" 10 "), Some(Duration::from_secs(10)));
+        assert_eq!(parse_retry_after("soon"), None);
+        assert_eq!(parse_retry_after("-1"), None);
+        assert_eq!(parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT"), None);
+    }
+}

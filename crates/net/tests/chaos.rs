@@ -1,0 +1,225 @@
+//! Deterministic network chaos harness: scripted fault clients thrown at
+//! one small server, concurrently and in sequence, asserting the two
+//! invariants that matter under hostility — no worker is ever pinned past
+//! its wall-clock deadline, and the server keeps serving well-behaved
+//! traffic correctly all the way through.
+//!
+//! The faults are scripts, not randomness: stalled request heads, torn
+//! mid-body writes, disconnects before the response is read, and a burst
+//! flood past the connection budget. Each script is a function a test can
+//! compose; the storm test runs them all against a 2-worker server.
+
+use hdoutlier_net::{Request, Response, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A tight-deadline config so every fault resolves in well under a second.
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        io_timeout: Duration::from_millis(200),
+        head_deadline: Duration::from_millis(400),
+        body_deadline: Duration::from_millis(400),
+        connection_lifetime: Duration::from_secs(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn echo_server(config: ServerConfig) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        config,
+        Arc::new(|request: &Request| {
+            Response::text(
+                200,
+                format!(
+                    "{} {} body={}",
+                    request.method,
+                    request.path,
+                    request.body.len()
+                ),
+            )
+        }),
+    )
+    .expect("bind")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+/// Reads one response's status code, tolerating connection failures (a
+/// fault client often has its socket reset under it). `None` = no parse.
+fn try_read_status(stream: &mut TcpStream) -> Option<u16> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n") {
+        match stream.read(&mut byte) {
+            Ok(1) => buf.push(byte[0]),
+            _ => return None,
+        }
+        if buf.len() > 256 {
+            return None;
+        }
+    }
+    std::str::from_utf8(&buf)
+        .ok()?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Fault script: opens a connection, sends a partial head, and stalls
+/// until the server expires it. Returns the status it saw (408 when the
+/// response survived the fault).
+fn stalled_head_client(server: &Server) -> Option<u16> {
+    let mut stream = connect(server);
+    stream.write_all(b"GET /stall HTTP/1.1\r\nX-Par").ok()?;
+    try_read_status(&mut stream)
+}
+
+/// Fault script: promises a body, writes half of it, and signals EOF with
+/// the write half torn off — the read half stays open for the verdict.
+fn torn_body_client(server: &Server) -> Option<u16> {
+    let mut stream = connect(server);
+    stream
+        .write_all(b"POST /torn HTTP/1.1\r\nContent-Length: 32\r\n\r\nonly-half-arrives")
+        .ok()?;
+    stream.shutdown(std::net::Shutdown::Write).ok()?;
+    try_read_status(&mut stream)
+}
+
+/// Fault script: sends a complete request and disconnects without reading
+/// the response — the server's write lands on a dead socket.
+fn vanishing_client(server: &Server) {
+    let mut stream = connect(server);
+    let _ = stream.write_all(b"GET /vanish HTTP/1.1\r\nConnection: close\r\n\r\n");
+    // Drop without reading: the response write hits a closing socket.
+}
+
+/// A well-behaved request on a fresh connection; the recovery probe.
+fn polite_client(server: &Server) -> Option<u16> {
+    let mut stream = connect(server);
+    stream
+        .write_all(b"GET /polite HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    try_read_status(&mut stream)
+}
+
+#[test]
+fn stalled_heads_expire_and_report_408() {
+    let server = echo_server(chaos_config());
+    let start = Instant::now();
+    assert_eq!(stalled_head_client(&server), Some(408));
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "stalled head held a worker for {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn torn_body_writes_get_a_400_not_a_hang() {
+    let server = echo_server(chaos_config());
+    let start = Instant::now();
+    assert_eq!(torn_body_client(&server), Some(400));
+    assert!(start.elapsed() < Duration::from_secs(2));
+}
+
+#[test]
+fn burst_flood_past_the_budget_sheds_with_retry_after_and_recovers() {
+    // More simultaneous connections than workers + accept queue + budget:
+    // the overflow is refused 503 with a Retry-After hint, and once the
+    // burst passes the server serves normally again.
+    let server = echo_server(chaos_config());
+    let addr = server.local_addr();
+    let clients: Vec<_> = (0..16)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => return None, // kernel backlog overflow: also fine
+                };
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                stream
+                    .write_all(b"GET /flood HTTP/1.1\r\nConnection: close\r\n\r\n")
+                    .ok()?;
+                let mut head = Vec::new();
+                let mut byte = [0u8; 1];
+                while !head.ends_with(b"\r\n\r\n") && head.len() < 4096 {
+                    match stream.read(&mut byte) {
+                        Ok(1) => head.push(byte[0]),
+                        _ => return None,
+                    }
+                }
+                Some(String::from_utf8_lossy(&head).into_owned())
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for client in clients {
+        match client.join().expect("client thread") {
+            Some(head) if head.starts_with("HTTP/1.1 200") => served += 1,
+            Some(head) if head.starts_with("HTTP/1.1 503") => {
+                assert!(
+                    head.to_ascii_lowercase().contains("retry-after:"),
+                    "refusals must teach clients to back off: {head}"
+                );
+                shed += 1;
+            }
+            Some(head) => panic!("unexpected response under flood: {head}"),
+            None => {} // reset under pressure: an acceptable shed too
+        }
+    }
+    assert!(served > 0, "the flood starved every polite request");
+    // With 16 clients against a budget of workers + queue = 6, the kernel
+    // or the server must have turned some away (503 or reset); the exact
+    // split is scheduling-dependent, the invariant is no hang and no bogus
+    // status.
+    let _ = shed;
+    // Recovery: the storm is over, a fresh request is served immediately.
+    assert_eq!(polite_client(&server), Some(200));
+}
+
+#[test]
+fn mixed_fault_storm_never_pins_workers_and_recovers_to_healthy() {
+    // The storm: every fault script at once, twice over, against two
+    // workers — then the recovery probe must still see a prompt 200.
+    let server = Arc::new(echo_server(chaos_config()));
+    let start = Instant::now();
+    let mut storms = Vec::new();
+    for _ in 0..2 {
+        let s = Arc::clone(&server);
+        storms.push(std::thread::spawn(move || {
+            let _ = stalled_head_client(&s);
+        }));
+        let s = Arc::clone(&server);
+        storms.push(std::thread::spawn(move || {
+            let _ = torn_body_client(&s);
+        }));
+        let s = Arc::clone(&server);
+        storms.push(std::thread::spawn(move || vanishing_client(&s)));
+    }
+    for storm in storms {
+        storm.join().expect("fault client");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "fault storm outlived every deadline: {:?}",
+        start.elapsed()
+    );
+    // Both workers are free; correct service resumes at once.
+    assert_eq!(polite_client(&server), Some(200));
+    assert_eq!(polite_client(&server), Some(200));
+}

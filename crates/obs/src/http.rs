@@ -63,11 +63,8 @@ pub fn telemetry_response(
         "/profile" => return Some(profile_response(request.query.as_deref())),
         "/metrics" => {
             refresh_process_metrics();
-            Response {
-                status: 200,
-                content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
-                body: registry.render_prometheus().into_bytes(),
-            }
+            Response::text(200, registry.render_prometheus())
+                .with_content_type("text/plain; version=0.0.4; charset=utf-8")
         }
         "/healthz" => match slo.map(|engine| engine.evaluate().overall) {
             Some(SloVerdict::Unhealthy) => Response::text(503, "unhealthy\n"),
@@ -125,11 +122,7 @@ fn profile_response(query: Option<&str>) -> Response {
     }
     let report = crate::profile::profile_for(Duration::from_secs_f64(seconds), hz);
     match format {
-        "svg" => Response {
-            status: 200,
-            content_type: "image/svg+xml".to_string(),
-            body: report.to_svg().into_bytes(),
-        },
+        "svg" => Response::text(200, report.to_svg()).with_content_type("image/svg+xml"),
         "json" => Response::json(200, report.to_json()),
         _ => Response::text(200, report.to_folded()),
     }
@@ -146,6 +139,10 @@ pub fn telemetry_config() -> ServerConfig {
         max_body_bytes: 8 * 1024,
         io_timeout: Duration::from_secs(2),
         max_requests_per_connection: 1,
+        head_deadline: Duration::from_secs(5),
+        body_deadline: Duration::from_secs(5),
+        connection_lifetime: Duration::from_secs(30),
+        retry_after: Duration::from_secs(1),
     }
 }
 

@@ -86,6 +86,19 @@ pub struct ServeConfig {
     pub slo_p99_ms: f64,
     /// The rolling window the SLO engine evaluates over.
     pub slo_window: Duration,
+    /// Shed score POSTs while the SLO engine's overall verdict is
+    /// unhealthy (probes and DELETEs are always admitted).
+    pub shed_on_unhealthy: bool,
+    /// Cap on concurrently-executing score POSTs; requests beyond it are
+    /// shed with `503`. `0` disables the cap (the HTTP worker pool is then
+    /// the only bound).
+    pub shed_max_inflight: usize,
+    /// The `Retry-After` delay attached to every shed/draining/over-cap
+    /// `503`.
+    pub shed_retry_after: Duration,
+    /// Per-session idempotency cache entries (score responses remembered
+    /// by client-supplied `X-Request-Id`); `0` disables replay.
+    pub replay_cache: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,9 +111,19 @@ impl Default for ServeConfig {
             slo_error_rate: 0.05,
             slo_p99_ms: 250.0,
             slo_window: Duration::from_secs(60),
+            shed_on_unhealthy: true,
+            shed_max_inflight: 0,
+            shed_retry_after: Duration::from_secs(1),
+            replay_cache: 64,
         }
     }
 }
+
+/// How long an admission-control SLO verdict is reused before the engine
+/// is re-consulted. Sampling the metrics registry per score request would
+/// cost more than the scoring; a quarter second is far inside the SLO
+/// window, so shedding still reacts promptly when health flips.
+const SLO_VERDICT_TTL: Duration = Duration::from_millis(250);
 
 /// Metric handles resolved once at construction. Label values are bounded:
 /// `route` is always a template from [`route_of`] and `status` one of the
@@ -113,6 +136,9 @@ struct ServeMetrics {
     records: obs::CounterVec,
     record_errors: obs::CounterVec,
     drains: obs::Counter,
+    shed: obs::CounterVec,
+    replay_hits: obs::Counter,
+    drain_errors: obs::Counter,
 }
 
 impl ServeMetrics {
@@ -125,6 +151,9 @@ impl ServeMetrics {
             records: r.counter_vec("hdoutlier.serve.records", &["session"]),
             record_errors: r.counter_vec("hdoutlier.serve.record_errors", &["session"]),
             drains: r.counter("hdoutlier.serve.drains"),
+            shed: r.counter_vec("hdoutlier.serve.shed", &["reason"]),
+            replay_hits: r.counter("hdoutlier.serve.replay_hits"),
+            drain_errors: r.counter("hdoutlier.serve.drain_errors"),
         }
     }
 }
@@ -177,6 +206,11 @@ pub struct ServeApp {
     draining: AtomicBool,
     metrics: ServeMetrics,
     slo: obs::SloEngine,
+    /// Score POSTs currently executing (admission-control signal).
+    inflight_scores: AtomicU64,
+    /// The admission controller's cached SLO verdict and when it was
+    /// computed (refreshed every [`SLO_VERDICT_TTL`]).
+    slo_verdict: Mutex<Option<(Instant, obs::SloVerdict)>>,
 }
 
 impl ServeApp {
@@ -189,14 +223,23 @@ impl ServeApp {
             },
             config.slo_window,
         );
-        Arc::new(ServeApp {
+        let app = Arc::new(ServeApp {
             config,
             sessions: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             metrics: ServeMetrics::resolve(),
             slo,
-        })
+            inflight_scores: AtomicU64::new(0),
+            slo_verdict: Mutex::new(None),
+        });
+        // Establish a baseline SLO sample now, so every later evaluation
+        // deltas against *this server's* start rather than a zero origin —
+        // the process-global metrics registry may carry history from an
+        // earlier server in the same process (tests, embedding), and that
+        // history must not feed the admission controller.
+        app.sample_slo();
+        app
     }
 
     /// The configuration the app was built with.
@@ -408,7 +451,7 @@ impl ServeApp {
     /// `POST /sessions`.
     fn create_session(&self, request: &Request) -> Response {
         if self.shutdown_requested() {
-            return error_response(503, "server is draining");
+            return self.shed("draining", error_response(503, "server is draining"));
         }
         let body = match request.body_utf8() {
             Ok(b) => b,
@@ -435,12 +478,17 @@ impl ServeApp {
             return error_response(
                 503,
                 &format!("session limit reached ({})", self.config.max_sessions),
-            );
+            )
+            .with_retry_after(self.config.shed_retry_after);
         }
         if sessions.contains_key(&id) {
             return error_response(409, &format!("session {id:?} already exists"));
         }
-        let session = match Session::create(config, self.config.checkpoint_dir.as_deref()) {
+        let session = match Session::create(
+            config,
+            self.config.checkpoint_dir.as_deref(),
+            self.config.replay_cache,
+        ) {
             Ok(s) => s,
             Err(CreateError::Config(e)) => return error_response(400, &e),
             Err(CreateError::Resume(e)) => return error_response(409, &e),
@@ -495,22 +543,119 @@ impl ServeApp {
             .cloned()
     }
 
+    /// Marks a refused request as shed: counts it under its reason, emits
+    /// the `shed` Warn event, and stamps the response with `Retry-After`
+    /// so well-behaved clients back off instead of hammering.
+    fn shed(&self, reason: &'static str, response: Response) -> Response {
+        self.metrics.shed.with(&[reason]).inc();
+        obs::event(
+            obs::Level::Warn,
+            TARGET,
+            "shed",
+            &[("reason", obs::Value::Str(reason))],
+        );
+        response.with_retry_after(self.config.shed_retry_after)
+    }
+
+    /// The SLO verdict the admission controller acts on — re-sampled from
+    /// the live registry at most once per [`SLO_VERDICT_TTL`].
+    ///
+    /// Only the *score route's* key is consulted: per-session keys turn
+    /// unhealthy when a client sends bad records, which is that client's
+    /// data-quality problem and no reason to refuse everyone else, and
+    /// other routes' health does not indicate scoring overload.
+    fn admission_verdict(&self) -> obs::SloVerdict {
+        let mut cached = self.slo_verdict.lock().expect("slo verdict poisoned");
+        let now = Instant::now();
+        if let Some((at, verdict)) = *cached {
+            if now.duration_since(at) < SLO_VERDICT_TTL {
+                return verdict;
+            }
+        }
+        self.sample_slo();
+        let verdict = self
+            .slo
+            .evaluate()
+            .keys
+            .iter()
+            .find(|k| k.key == "route:/sessions/{id}/score")
+            .map_or(obs::SloVerdict::Healthy, |k| k.verdict);
+        *cached = Some((now, verdict));
+        verdict
+    }
+
+    /// The admission decision for one score POST: `Some(503)` when the
+    /// request must be shed (in-flight cap reached, SLO unhealthy), `None`
+    /// when it may proceed. Probe routes, session management, and DELETE
+    /// never pass through here — only scoring is load-shed.
+    fn admit_score(&self) -> Option<Response> {
+        let cap = self.config.shed_max_inflight as u64;
+        if cap > 0 && self.inflight_scores.load(Ordering::SeqCst) >= cap {
+            return Some(self.shed(
+                "inflight",
+                error_response(503, &format!("score concurrency cap reached ({cap})")),
+            ));
+        }
+        if self.config.shed_on_unhealthy && self.admission_verdict() == obs::SloVerdict::Unhealthy {
+            return Some(self.shed(
+                "slo",
+                error_response(503, "shedding load: SLO verdict is unhealthy"),
+            ));
+        }
+        None
+    }
+
     /// `POST /sessions/{id}/score`.
     fn score(&self, id: &str, request: &Request, activity: &mut Activity) -> Response {
         if self.shutdown_requested() {
-            return error_response(503, "server is draining");
+            return self.shed("draining", error_response(503, "server is draining"));
         }
         let Some(session) = self.session(id) else {
             return error_response(404, &format!("no session {id:?}"));
         };
+        if let Some(refused) = self.admit_score() {
+            return refused;
+        }
+        let _inflight = InflightGuard::enter(&self.inflight_scores);
         let body = match request.body_utf8() {
             Ok(b) => b,
             Err(e) => return error_response(400, e),
         };
+        // Only a *client-supplied* request id keys the replay cache:
+        // server-generated ids are unique per request, so caching under
+        // them could never hit and would only evict real entries.
+        let replay_key = request
+            .header("x-request-id")
+            .filter(|sent| *sent == request.request_id);
         // The session lock is held for the whole request: scoring is
         // stateful and order-defining. Other sessions are untouched — their
         // requests run concurrently on other connection workers.
         let mut session = session.lock().expect("session poisoned");
+        if let Some(key) = replay_key {
+            match session.replay_lookup(key, body) {
+                session::ReplayLookup::Miss => {}
+                session::ReplayLookup::Conflict => {
+                    return error_response(
+                        409,
+                        "X-Request-Id was already used for a different body; \
+                         retries must resend the original request unchanged",
+                    );
+                }
+                session::ReplayLookup::Hit {
+                    status,
+                    body,
+                    json_error,
+                } => {
+                    self.metrics.replay_hits.inc();
+                    obs::event(obs::Level::Info, TARGET, "replay_hit", &[]);
+                    return if json_error {
+                        Response::json(status, body)
+                    } else {
+                        Response::ndjson(status, body)
+                    };
+                }
+            }
+        }
         if let Some(reason) = session.tripped() {
             return error_response(409, &format!("session tripped: {reason}"));
         }
@@ -520,8 +665,19 @@ impl ServeApp {
         activity.errors = outcome.errors;
         self.metrics.records.with(&[id]).add(outcome.records);
         self.metrics.record_errors.with(&[id]).add(outcome.errors);
+        // Whatever the outcome, the scorer has advanced — remember the
+        // response under the client's id so a retry replays instead of
+        // double-scoring.
+        let remember = |session: &mut Session, status: u16, text: &str, json_error: bool| {
+            if let Some(key) = replay_key {
+                session.replay_store(key, body, status, text, json_error);
+            }
+        };
         if let Some(fatal) = outcome.fatal {
-            return error_response(500, &fatal);
+            let response = error_response(500, &fatal);
+            let text = String::from_utf8_lossy(&response.body).into_owned();
+            remember(&mut session, 500, &text, true);
+            return response;
         }
         if outcome.tripped.is_some() {
             obs::event(
@@ -534,8 +690,10 @@ impl ServeApp {
             // they are exactly what `stream` would have written before
             // aborting — under a conflict status so the client knows the
             // stream ended early. The reason rides in the status document.
+            remember(&mut session, 409, &outcome.ndjson, false);
             return Response::ndjson(409, outcome.ndjson);
         }
+        remember(&mut session, 200, &outcome.ndjson, false);
         Response::ndjson(200, outcome.ndjson)
     }
 
@@ -592,6 +750,24 @@ impl ServeApp {
             Ok(j) => Response::json(200, j.render()),
             Err(e) => error_response(500, &e.to_string()),
         }
+    }
+}
+
+/// RAII in-flight counter: admitted score requests hold one for their
+/// whole execution, so the admission controller sees a live concurrency
+/// reading even when a handler exits early.
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(counter: &'a AtomicU64) -> InflightGuard<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        InflightGuard(counter)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -659,6 +835,18 @@ impl ServeHandle {
         self.server.shutdown();
         let (sessions, checkpointed, errors) = self.app.checkpoint_all();
         self.app.metrics.drains.inc();
+        // A drain-time checkpoint failure is the last chance to notice
+        // state loss before the process exits: each one gets its own Error
+        // event and counter tick (the CLI also exits non-zero on any).
+        for error in &errors {
+            self.app.metrics.drain_errors.inc();
+            obs::event(
+                obs::Level::Error,
+                TARGET,
+                "drain_error",
+                &[("error", obs::Value::Str(error))],
+            );
+        }
         obs::event(
             obs::Level::Info,
             TARGET,

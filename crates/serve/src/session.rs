@@ -19,7 +19,8 @@
 use hdoutlier_json::{FieldChain, Json, JsonError};
 use hdoutlier_obs as obs;
 use hdoutlier_stream::ndjson::{error_json, verdict_json};
-use hdoutlier_stream::{Checkpoint, OnlineScorer, Verdict};
+use hdoutlier_stream::{Checkpoint, OnlineScorer, RecoveredFrom, Verdict};
+use std::collections::VecDeque;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -221,6 +222,103 @@ enum Stop {
     Fatal(String),
 }
 
+/// What the replay cache knows about a request id.
+pub enum ReplayLookup {
+    /// Never seen (or evicted): score normally.
+    Miss,
+    /// Seen with the same body: return the cached response verbatim, do
+    /// not touch the scorer.
+    Hit {
+        /// The original response status.
+        status: u16,
+        /// The original response body.
+        body: String,
+        /// Whether the original was a JSON error document (vs NDJSON
+        /// verdicts).
+        json_error: bool,
+    },
+    /// Seen with a *different* body: the client reused a request id for a
+    /// new logical request — refuse rather than replay the wrong verdicts.
+    Conflict,
+}
+
+/// One remembered score response.
+struct ReplayEntry {
+    request_id: String,
+    body_hash: u64,
+    status: u16,
+    body: String,
+    json_error: bool,
+}
+
+/// A bounded FIFO of recent score responses keyed on client-supplied
+/// `X-Request-Id`, making score POSTs idempotent under retry: a client
+/// that resends the same request id (after a timeout, a shed `503`, a torn
+/// connection) gets the original verdict batch back instead of mutating
+/// the scorer twice. Guarded by the session mutex, so a lookup is atomic
+/// with the scoring it guards against.
+struct ReplayCache {
+    capacity: usize,
+    entries: VecDeque<ReplayEntry>,
+}
+
+impl ReplayCache {
+    fn new(capacity: usize) -> ReplayCache {
+        ReplayCache {
+            capacity,
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn lookup(&self, request_id: &str, body: &str) -> ReplayLookup {
+        let Some(entry) = self.entries.iter().find(|e| e.request_id == request_id) else {
+            return ReplayLookup::Miss;
+        };
+        if entry.body_hash != fnv1a(body.as_bytes()) {
+            return ReplayLookup::Conflict;
+        }
+        ReplayLookup::Hit {
+            status: entry.status,
+            body: entry.body.clone(),
+            json_error: entry.json_error,
+        }
+    }
+
+    fn store(
+        &mut self,
+        request_id: &str,
+        body: &str,
+        status: u16,
+        response: &str,
+        json_error: bool,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(ReplayEntry {
+            request_id: request_id.to_string(),
+            body_hash: fnv1a(body.as_bytes()),
+            status,
+            body: response.to_string(),
+            json_error,
+        });
+    }
+}
+
+/// FNV-1a over bytes — fingerprints a request body so an id reused with
+/// different records is detected instead of silently replayed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// One live scoring session.
 pub struct Session {
     id: String,
@@ -240,14 +338,18 @@ pub struct Session {
     checkpoint_every: u64,
     tripped: Option<String>,
     resumed: bool,
+    replay: ReplayCache,
 }
 
 impl Session {
     /// Builds a session from validated config, restoring checkpointed state
-    /// when `resume` is set and `<dir>/<id>.ckpt.json` exists.
+    /// when `resume` is set and `<dir>/<id>.ckpt.json` (or its rotated
+    /// `.prev` generation) exists. `replay_capacity` bounds the per-session
+    /// idempotency cache (`0` disables it).
     pub fn create(
         config: SessionConfig,
         checkpoint_dir: Option<&Path>,
+        replay_capacity: usize,
     ) -> Result<Session, CreateError> {
         let mut scorer = OnlineScorer::new(config.model)
             .map_err(|e| CreateError::Config(format!("model unusable for streaming: {e}")))?;
@@ -256,10 +358,26 @@ impl Session {
         let mut quarantined = 0u64;
         let mut resumed = false;
         if config.resume {
-            if let Some(path) = checkpoint_path.as_deref().filter(|p| p.exists()) {
-                let cp = Checkpoint::load(path).map_err(|e| {
+            // The primary may be absent while a rotated generation exists
+            // (a crash inside save_atomic's rename window) — recovery must
+            // still run then.
+            let has_state =
+                |p: &&Path| p.exists() || hdoutlier_stream::checkpoint::prev_path(p).exists();
+            if let Some(path) = checkpoint_path.as_deref().filter(has_state) {
+                let (cp, recovered) = Checkpoint::load_with_recovery(path).map_err(|e| {
                     CreateError::Io(format!("cannot resume from {}: {e}", path.display()))
                 })?;
+                if let RecoveredFrom::Previous { quarantined } = &recovered {
+                    obs::event(
+                        obs::Level::Warn,
+                        "hdoutlier.serve",
+                        "checkpoint_recovered",
+                        &[
+                            ("from", obs::Value::Str("prev")),
+                            ("quarantined", obs::Value::Bool(quarantined.is_some())),
+                        ],
+                    );
+                }
                 cp.restore(&mut scorer).map_err(|e| {
                     CreateError::Resume(format!("cannot resume from {}: {e}", path.display()))
                 })?;
@@ -296,12 +414,31 @@ impl Session {
             checkpoint_every: config.checkpoint_every,
             tripped: None,
             resumed,
+            replay: ReplayCache::new(replay_capacity),
         })
     }
 
     /// The session identifier.
     pub fn id(&self) -> &str {
         &self.id
+    }
+
+    /// Consults the idempotency cache for a client-supplied request id.
+    pub fn replay_lookup(&self, request_id: &str, body: &str) -> ReplayLookup {
+        self.replay.lookup(request_id, body)
+    }
+
+    /// Remembers a score response so a retry of `request_id` replays it.
+    pub fn replay_store(
+        &mut self,
+        request_id: &str,
+        body: &str,
+        status: u16,
+        response: &str,
+        json_error: bool,
+    ) {
+        self.replay
+            .store(request_id, body, status, response, json_error);
     }
 
     /// The trip reason, when the abort policy or breaker fired.

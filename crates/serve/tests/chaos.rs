@@ -1,0 +1,537 @@
+//! Chaos tests for the serve subsystem's overload and crash behavior:
+//! idempotent score retries through the replay cache, SLO- and
+//! concurrency-driven load shedding with recovery, and checkpoint
+//! corruption/kill-during-save recovery via the `.prev` generation — all
+//! at the [`ServeApp`] level, hermetic and deterministic.
+//!
+//! The metrics registry is process-global, so tests that are not *about*
+//! SLO shedding disable it (`shed_on_unhealthy: false`): the two tests
+//! that deliberately storm the score route with 500s would otherwise
+//! flip the shared route verdict under their neighbors.
+
+use hdoutlier_core::{FittedModel, OutlierDetector, SearchMethod};
+use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
+use hdoutlier_data::Dataset;
+use hdoutlier_json::Json;
+use hdoutlier_net::{Request, Response};
+use hdoutlier_serve::{ServeApp, ServeConfig};
+use hdoutlier_stream::checkpoint::{prev_path, staging_path};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fitted(seed: u64) -> (FittedModel, Dataset) {
+    let planted = planted_outliers(&PlantedConfig {
+        n_rows: 600,
+        n_dims: 5,
+        n_outliers: 4,
+        strong_groups: Some(2),
+        seed,
+        ..PlantedConfig::default()
+    });
+    let model = OutlierDetector::builder()
+        .phi(4)
+        .k(2)
+        .m(5)
+        .search(SearchMethod::BruteForce)
+        .build()
+        .fit(&planted.dataset)
+        .unwrap();
+    (model, planted.dataset)
+}
+
+/// A config for tests that are not about SLO shedding (see module docs).
+fn quiet_config() -> ServeConfig {
+    ServeConfig {
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    }
+}
+
+/// A request as the HTTP layer would deliver it when the client sent a
+/// well-formed `X-Request-Id` (the net layer echoes it into both the
+/// header list and `request_id`).
+fn req_with_id(method: &str, path: &str, body: impl Into<Vec<u8>>, client_id: &str) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: None,
+        headers: vec![("x-request-id".to_string(), client_id.to_string())],
+        body: body.into(),
+        http1_0: false,
+        request_id: client_id.to_string(),
+    }
+}
+
+/// A request whose id the *server* generated (no client header).
+fn req(method: &str, path: &str, body: impl Into<Vec<u8>>) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: None,
+        headers: Vec::new(),
+        body: body.into(),
+        http1_0: false,
+        request_id: "generated-id".to_string(),
+    }
+}
+
+fn create_body(model: &FittedModel, extra: &str) -> String {
+    let model_json = hdoutlier_stream::model_io::to_json(model).unwrap().render();
+    if extra.is_empty() {
+        format!("{{\"model\": {model_json}}}")
+    } else {
+        format!("{{{extra}, \"model\": {model_json}}}")
+    }
+}
+
+fn ndjson_rows(ds: &Dataset, range: std::ops::Range<usize>) -> String {
+    let mut out = String::new();
+    for i in range {
+        let row = Json::Array(ds.row(i).iter().map(|&v| Json::from(v)).collect());
+        out.push_str(&row.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn body_text(response: &Response) -> &str {
+    std::str::from_utf8(&response.body).unwrap()
+}
+
+fn header<'a>(response: &'a Response, name: &str) -> Option<&'a str> {
+    response
+        .headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hdoutlier-serve-chaos")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn records_scored(app: &ServeApp, id: &str) -> f64 {
+    let status = app.handle(&req("GET", &format!("/sessions/{id}"), ""));
+    Json::parse(body_text(&status))
+        .unwrap()
+        .get("records_scored")
+        .unwrap()
+        .as_number()
+        .unwrap()
+}
+
+/// The acceptance scenario: a duplicate `X-Request-Id` score retry returns
+/// the cached response — byte-identical — without re-scoring, so the
+/// session's verdict stream equals a no-retry run's.
+#[test]
+fn duplicate_request_id_retry_replays_without_rescoring() {
+    let (model, ds) = fitted(83);
+
+    // Reference run: no retries anywhere.
+    let reference = ServeApp::new(quiet_config());
+    reference.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"r\""),
+    ));
+    let ref1 = reference.handle(&req("POST", "/sessions/r/score", ndjson_rows(&ds, 0..40)));
+    let ref2 = reference.handle(&req("POST", "/sessions/r/score", ndjson_rows(&ds, 40..80)));
+
+    // Retry run: the first batch is sent three times under one request id
+    // (a client retrying a response it never saw).
+    let app = ServeApp::new(quiet_config());
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"r\""),
+    ));
+    let batch1 = ndjson_rows(&ds, 0..40);
+    let first = app.handle(&req_with_id(
+        "POST",
+        "/sessions/r/score",
+        batch1.clone(),
+        "retry-1",
+    ));
+    assert_eq!(first.status, 200, "{}", body_text(&first));
+    for _ in 0..2 {
+        let again = app.handle(&req_with_id(
+            "POST",
+            "/sessions/r/score",
+            batch1.clone(),
+            "retry-1",
+        ));
+        assert_eq!(again.status, 200);
+        assert_eq!(again.body, first.body, "replay must be byte-identical");
+    }
+    // The retries scored nothing: the session advanced by exactly one batch.
+    assert_eq!(records_scored(&app, "r"), 40.0);
+
+    // The stream continues exactly where a no-retry run would be.
+    let second = app.handle(&req("POST", "/sessions/r/score", ndjson_rows(&ds, 40..80)));
+    assert_eq!(body_text(&first), body_text(&ref1));
+    assert_eq!(body_text(&second), body_text(&ref2));
+}
+
+/// Reusing a request id with a *different* body is a client bug the cache
+/// refuses (409) rather than replaying the wrong verdicts — and a
+/// server-generated id (client sent none) is never cached at all.
+#[test]
+fn replay_cache_rejects_id_reuse_and_ignores_generated_ids() {
+    let (model, ds) = fitted(89);
+    let app = ServeApp::new(quiet_config());
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"c\""),
+    ));
+
+    let first = app.handle(&req_with_id(
+        "POST",
+        "/sessions/c/score",
+        ndjson_rows(&ds, 0..10),
+        "reused-id",
+    ));
+    assert_eq!(first.status, 200, "{}", body_text(&first));
+    let conflict = app.handle(&req_with_id(
+        "POST",
+        "/sessions/c/score",
+        ndjson_rows(&ds, 10..20),
+        "reused-id",
+    ));
+    assert_eq!(conflict.status, 409, "{}", body_text(&conflict));
+    assert!(
+        body_text(&conflict).contains("already used"),
+        "{}",
+        body_text(&conflict)
+    );
+    assert_eq!(
+        records_scored(&app, "c"),
+        10.0,
+        "the conflicting body must not be scored"
+    );
+
+    // Two sends without a client id: both score (no accidental replay).
+    let a = app.handle(&req("POST", "/sessions/c/score", ndjson_rows(&ds, 10..20)));
+    let b = app.handle(&req("POST", "/sessions/c/score", ndjson_rows(&ds, 10..20)));
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(records_scored(&app, "c"), 30.0);
+}
+
+/// The in-flight admission cap: while one slow score POST executes, a
+/// concurrent one is shed 503 + Retry-After; once the slot frees, the
+/// retried request is admitted — shed traffic recovers to served.
+#[test]
+fn inflight_cap_sheds_concurrent_scores_then_recovers() {
+    let (model, ds) = fitted(97);
+    let app = ServeApp::new(ServeConfig {
+        shed_max_inflight: 1,
+        shed_retry_after: Duration::from_secs(7),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"s\""),
+    ));
+
+    // A big single-batch request to hold the in-flight slot for a while.
+    // The slow client itself retries politely if it loses the admission
+    // race to one of the probes below.
+    let mut big = String::new();
+    for _ in 0..40 {
+        big.push_str(&ndjson_rows(&ds, 0..600));
+    }
+    let slow_app = Arc::clone(&app);
+    let slow = std::thread::spawn(move || loop {
+        let response = slow_app.handle(&req("POST", "/sessions/s/score", big.clone()));
+        if response.status == 200 {
+            return response;
+        }
+        assert_eq!(response.status, 503, "{}", body_text(&response));
+        std::thread::sleep(Duration::from_millis(5));
+    });
+
+    // Probe until we observe a shed — the window where the slow request
+    // holds the only slot — bounded so a scheduling hiccup fails loudly.
+    let mut shed_response = None;
+    for _ in 0..400 {
+        let probe = app.handle(&req("POST", "/sessions/s/score", ndjson_rows(&ds, 0..1)));
+        if probe.status == 503 {
+            shed_response = Some(probe);
+            break;
+        }
+        assert_eq!(probe.status, 200, "{}", body_text(&probe));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let shed = shed_response.expect("never observed a shed while a score was in flight");
+    assert_eq!(header(&shed, "retry-after"), Some("7"));
+    assert!(
+        body_text(&shed).contains("concurrency cap"),
+        "{}",
+        body_text(&shed)
+    );
+
+    assert_eq!(slow.join().expect("slow scorer").status, 200);
+    // Recovery: the slot is free, the retried request is admitted and served.
+    let retried = app.handle(&req("POST", "/sessions/s/score", ndjson_rows(&ds, 0..1)));
+    assert_eq!(retried.status, 200, "{}", body_text(&retried));
+}
+
+/// SLO-driven shedding: sustained 5xx on the score route flips the route
+/// verdict unhealthy and the admission controller sheds further score
+/// POSTs with 503 + Retry-After — while probe routes stay admitted.
+#[test]
+fn unhealthy_score_route_slo_sheds_scores_but_admits_probes() {
+    let (model, ds) = fitted(101);
+    // checkpoint_every=1 against a checkpoint "directory" that is a file:
+    // every admitted score request fails its checkpoint write — a
+    // deterministic stream of route 500s to feed the SLO engine.
+    let dir = temp_dir("slo-shed");
+    let bogus = dir.join("not-a-dir");
+    std::fs::write(&bogus, "occupied").unwrap();
+    let app = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(bogus),
+        shed_retry_after: Duration::from_secs(3),
+        ..ServeConfig::default()
+    });
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"u\", \"checkpoint_every\": 1"),
+    ));
+
+    // Keep sending until the admission controller turns us away. The
+    // verdict is cached ~250ms, so pace the loop past a few refreshes.
+    let mut shed = None;
+    for _ in 0..40 {
+        let response = app.handle(&req("POST", "/sessions/u/score", ndjson_rows(&ds, 0..1)));
+        match response.status {
+            500 => {} // admitted, failed on the checkpoint — feeds the SLO
+            503 => {
+                shed = Some(response);
+                break;
+            }
+            other => panic!("unexpected status {other}: {}", body_text(&response)),
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let shed = shed.expect("the failing score route never tripped SLO shedding");
+    assert_eq!(header(&shed, "retry-after"), Some("3"));
+    assert!(body_text(&shed).contains("SLO"), "{}", body_text(&shed));
+
+    // The always-admitted routes still answer while scoring is shed.
+    assert_eq!(app.handle(&req("GET", "/status", "")).status, 200);
+    assert_eq!(app.handle(&req("GET", "/metrics", "")).status, 200);
+    assert_eq!(app.handle(&req("GET", "/sessions/u", "")).status, 200);
+    // DELETE is admitted too: it reaches its (failing) final checkpoint
+    // instead of being shed.
+    let deleted = app.handle(&req("DELETE", "/sessions/u", ""));
+    assert_eq!(deleted.status, 500, "{}", body_text(&deleted));
+}
+
+/// Disabling SLO shedding admits scores even under a red route verdict.
+#[test]
+fn no_slo_shed_config_admits_scores_under_unhealthy_verdict() {
+    let (model, ds) = fitted(103);
+    let dir = temp_dir("no-slo-shed");
+    let bogus = dir.join("not-a-dir");
+    std::fs::write(&bogus, "occupied").unwrap();
+    let app = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(bogus),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"n\", \"checkpoint_every\": 1"),
+    ));
+    // Well past the verdict TTL: every request is admitted (and then
+    // fails on its checkpoint) — never a shed 503.
+    for _ in 0..12 {
+        let response = app.handle(&req("POST", "/sessions/n/score", ndjson_rows(&ds, 0..1)));
+        assert_eq!(response.status, 500, "{}", body_text(&response));
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// A kill -9 mid-checkpoint (staging synced, primary rotated away, final
+/// rename lost) recovers on session resume via `.prev`, and the resumed
+/// verdict stream is byte-identical to an uninterrupted session's.
+#[test]
+fn session_resume_recovers_from_prev_after_kill_during_save() {
+    let (model, ds) = fitted(107);
+    let dir = temp_dir("kill-during-save");
+
+    // Reference: one uninterrupted session scoring 0..300.
+    let reference = ServeApp::new(quiet_config());
+    reference.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"k\""),
+    ));
+    reference.handle(&req("POST", "/sessions/k/score", ndjson_rows(&ds, 0..200)));
+    let ref_tail = reference.handle(&req(
+        "POST",
+        "/sessions/k/score",
+        ndjson_rows(&ds, 200..300),
+    ));
+    assert_eq!(ref_tail.status, 200);
+
+    // First "process": checkpoint at 200 records, then die mid-save of a
+    // later generation — exactly the fsync-window crash.
+    let first = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    first.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"k\""),
+    ));
+    first.handle(&req("POST", "/sessions/k/score", ndjson_rows(&ds, 0..200)));
+    let forced = first.handle(&req("POST", "/sessions/k/checkpoint", ""));
+    assert_eq!(forced.status, 200, "{}", body_text(&forced));
+    let ckpt = dir.join("k.ckpt.json");
+    std::fs::write(staging_path(&ckpt), "torn next generation").unwrap();
+    std::fs::rename(&ckpt, prev_path(&ckpt)).unwrap();
+    drop(first);
+
+    // Second "process": resume finds no primary, falls back to `.prev`,
+    // and the tail scores byte-identically to the uninterrupted run.
+    let second = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(dir),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    let resumed = second.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"k\", \"resume\": true"),
+    ));
+    assert_eq!(resumed.status, 201, "{}", body_text(&resumed));
+    let status = Json::parse(body_text(&resumed)).unwrap();
+    assert_eq!(status.get("resumed"), Some(&Json::Bool(true)));
+    assert_eq!(
+        status.get("records_scored").unwrap().as_number(),
+        Some(200.0)
+    );
+    let tail = second.handle(&req(
+        "POST",
+        "/sessions/k/score",
+        ndjson_rows(&ds, 200..300),
+    ));
+    assert_eq!(tail.status, 200);
+    assert_eq!(
+        body_text(&tail),
+        body_text(&ref_tail),
+        "resumed tail must be byte-identical"
+    );
+}
+
+/// A corrupted primary checkpoint is quarantined to `.corrupt` on resume
+/// and the `.prev` generation restored instead of refusing to start.
+#[test]
+fn session_resume_quarantines_corrupt_checkpoint_and_uses_prev() {
+    let (model, ds) = fitted(109);
+    let dir = temp_dir("corrupt-resume");
+    let first = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    first.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"q\""),
+    ));
+    first.handle(&req("POST", "/sessions/q/score", ndjson_rows(&ds, 0..150)));
+    assert_eq!(
+        first
+            .handle(&req("POST", "/sessions/q/checkpoint", ""))
+            .status,
+        200
+    );
+    first.handle(&req(
+        "POST",
+        "/sessions/q/score",
+        ndjson_rows(&ds, 150..250),
+    ));
+    assert_eq!(
+        first
+            .handle(&req("POST", "/sessions/q/checkpoint", ""))
+            .status,
+        200
+    );
+    drop(first);
+
+    // Bit-rot the newest generation (the 250-record one).
+    let ckpt = dir.join("q.ckpt.json");
+    let good = std::fs::read_to_string(&ckpt).unwrap();
+    std::fs::write(&ckpt, &good[..good.len() / 2]).unwrap();
+
+    let second = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    let resumed = second.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"q\", \"resume\": true"),
+    ));
+    assert_eq!(resumed.status, 201, "{}", body_text(&resumed));
+    let status = Json::parse(body_text(&resumed)).unwrap();
+    // One generation behind — the 150-record state — never a torn one.
+    assert_eq!(
+        status.get("records_scored").unwrap().as_number(),
+        Some(150.0)
+    );
+    let corrupt = dir.join("q.ckpt.json.corrupt");
+    assert!(
+        corrupt.exists(),
+        "unreadable checkpoint must be quarantined"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&corrupt).unwrap(),
+        good[..good.len() / 2],
+        "quarantined evidence preserved verbatim"
+    );
+}
+
+/// Draining refusals carry a Retry-After so retry-helper clients wait out
+/// the restart instead of spinning.
+#[test]
+fn draining_refusals_carry_retry_after() {
+    let (model, ds) = fitted(113);
+    let app = ServeApp::new(ServeConfig {
+        shed_retry_after: Duration::from_secs(2),
+        shed_on_unhealthy: false,
+        ..ServeConfig::default()
+    });
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"d\""),
+    ));
+    app.request_shutdown();
+    let refused = app.handle(&req("POST", "/sessions/d/score", ndjson_rows(&ds, 0..1)));
+    assert_eq!(refused.status, 503, "{}", body_text(&refused));
+    assert_eq!(header(&refused, "retry-after"), Some("2"));
+    let refused_create = app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"e\""),
+    ));
+    assert_eq!(refused_create.status, 503, "{}", body_text(&refused_create));
+    assert_eq!(header(&refused_create, "retry-after"), Some("2"));
+}

@@ -6,10 +6,14 @@
 //! resets to "no evidence" if lost), the record index (verdict numbering),
 //! and the outlier/skip totals. [`Checkpoint`] captures that state as a
 //! plain value, serializes it through the in-tree [`hdoutlier_json`]
-//! machinery, and persists it *atomically*: [`Checkpoint::save_atomic`]
-//! writes a sibling temp file ([`staging_path`]) and renames it over the
-//! destination, so a kill at any instant leaves either the previous or the
-//! new checkpoint on disk — never a torn one.
+//! machinery, and persists it *atomically and durably*:
+//! [`Checkpoint::save_atomic`] writes a sibling temp file
+//! ([`staging_path`]), fsyncs it and its directory, rotates the old
+//! generation to [`prev_path`], and renames the new one into place — so a
+//! kill or power loss at any instant leaves a loadable generation on disk,
+//! never a torn one. [`Checkpoint::load_with_recovery`] completes the
+//! story on the read side: a corrupt primary is quarantined to
+//! [`corrupt_path`] and the `.prev` generation restored instead.
 //!
 //! Resume is guarded by a fingerprint of the model's grid
 //! ([`grid_fingerprint`]): drift occupancy is only meaningful under the
@@ -80,9 +84,41 @@ pub fn grid_fingerprint(model: &FittedModel) -> u64 {
 /// rename (`<path>.tmp`). Exposed so operators and tests can reason about —
 /// and fault-inject — the window between temp-write and rename.
 pub fn staging_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+/// Where [`Checkpoint::save_atomic`] rotates the previous generation
+/// (`<path>.prev`) before installing a new one. Recovery
+/// ([`Checkpoint::load_with_recovery`]) falls back to it when the primary
+/// file is corrupt or lost mid-rotation.
+pub fn prev_path(path: &Path) -> PathBuf {
+    sibling(path, ".prev")
+}
+
+/// Where [`Checkpoint::load_with_recovery`] quarantines a corrupt primary
+/// checkpoint (`<path>.corrupt`) so the evidence survives the recovery
+/// instead of being overwritten by the next cadence save.
+pub fn corrupt_path(path: &Path) -> PathBuf {
+    sibling(path, ".corrupt")
+}
+
+/// `<path><suffix>` as a sibling file in the same directory.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
-    os.push(".tmp");
+    os.push(suffix);
     PathBuf::from(os)
+}
+
+/// Fsyncs the directory containing `path`, making renames and new entries
+/// in it durable — an atomic rename protocol without this survives a
+/// process kill but not a power loss (the rename may still live only in
+/// the page cache when the lights go out).
+fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
 }
 
 /// A point-in-time snapshot of streaming state: everything an
@@ -247,18 +283,40 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically: the JSON is staged into
-    /// [`staging_path`] and renamed over the destination, so readers (and a
-    /// resume after a kill at any point) see either the previous or the new
-    /// checkpoint, never a partial write.
+    /// Writes the checkpoint to `path` atomically and durably:
+    ///
+    /// 1. the JSON is staged into [`staging_path`] and fsynced (data
+    ///    durable before any rename moves it into place),
+    /// 2. the parent directory is fsynced (the staging entry itself is
+    ///    durable before the rotation starts),
+    /// 3. an existing checkpoint is rotated to [`prev_path`] — the last
+    ///    good generation survives as a recovery fallback,
+    /// 4. the staging file is renamed over `path`,
+    /// 5. the parent directory is fsynced again (the renames are durable).
+    ///
+    /// A kill — or a power loss — at any instant leaves a loadable
+    /// generation on disk: the new one, the previous one at `path`, or the
+    /// previous one rotated to `<path>.prev` (the one window where `path`
+    /// itself is briefly absent), which [`Checkpoint::load_with_recovery`]
+    /// falls back to.
     ///
     /// # Errors
-    /// [`CheckpointError::Io`] when the temp write or rename fails.
+    /// [`CheckpointError::Io`] when a write, fsync, or rename fails.
     pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write;
         let text = self.to_json().map_err(CheckpointError::Json)?.pretty() + "\n";
         let staging = staging_path(path);
-        std::fs::write(&staging, text).map_err(CheckpointError::Io)?;
-        std::fs::rename(&staging, path).map_err(CheckpointError::Io)
+        let mut file = std::fs::File::create(&staging).map_err(CheckpointError::Io)?;
+        file.write_all(text.as_bytes())
+            .map_err(CheckpointError::Io)?;
+        file.sync_all().map_err(CheckpointError::Io)?;
+        drop(file);
+        fsync_parent(path).map_err(CheckpointError::Io)?;
+        if path.exists() {
+            std::fs::rename(path, prev_path(path)).map_err(CheckpointError::Io)?;
+        }
+        std::fs::rename(&staging, path).map_err(CheckpointError::Io)?;
+        fsync_parent(path).map_err(CheckpointError::Io)
     }
 
     /// Loads a checkpoint previously written by [`Checkpoint::save_atomic`].
@@ -270,6 +328,67 @@ impl Checkpoint {
         let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
         Self::from_json_text(&text)
     }
+
+    /// Loads `path`, falling back to the rotated [`prev_path`] generation
+    /// when the primary is corrupt, truncated, or missing:
+    ///
+    /// - a primary that fails to *parse* (bit rot, torn write on a
+    ///   non-atomic filesystem, disk-full truncation) is quarantined to
+    ///   [`corrupt_path`] — the evidence survives for the operator — and
+    ///   the previous generation is restored instead;
+    /// - a primary that is *missing* while `<path>.prev` exists (a kill in
+    ///   the one window of the save protocol where `path` is briefly
+    ///   absent) restores the previous generation directly;
+    /// - when neither generation loads, the primary's error is returned
+    ///   (environmental I/O failures are never masked by the fallback).
+    ///
+    /// # Errors
+    /// The primary's [`CheckpointError`] when no generation is loadable.
+    pub fn load_with_recovery(path: &Path) -> Result<(Self, RecoveredFrom), CheckpointError> {
+        match Self::load(path) {
+            Ok(cp) => Ok((cp, RecoveredFrom::Primary)),
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Self::fall_back_to_prev(path, CheckpointError::Io(e), None)
+            }
+            Err(primary_err @ (CheckpointError::Json(_) | CheckpointError::Schema(_))) => {
+                let corrupt = corrupt_path(path);
+                let quarantined = std::fs::rename(path, &corrupt).is_ok().then_some(corrupt);
+                Self::fall_back_to_prev(path, primary_err, quarantined)
+            }
+            // Mismatch cannot happen here (no scorer involved); other Io
+            // errors (permissions, device faults) are environmental and
+            // surface as-is.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The `.prev` leg of [`Checkpoint::load_with_recovery`].
+    fn fall_back_to_prev(
+        path: &Path,
+        primary_err: CheckpointError,
+        quarantined: Option<PathBuf>,
+    ) -> Result<(Self, RecoveredFrom), CheckpointError> {
+        match Self::load(&prev_path(path)) {
+            Ok(cp) => Ok((cp, RecoveredFrom::Previous { quarantined })),
+            // The fallback failing is reported as the *primary* failure:
+            // that is the file the operator configured and must inspect.
+            Err(_) => Err(primary_err),
+        }
+    }
+}
+
+/// Which generation [`Checkpoint::load_with_recovery`] restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveredFrom {
+    /// The primary file at the configured path.
+    Primary,
+    /// The rotated `<path>.prev` generation; `quarantined` names the
+    /// `<path>.corrupt` file holding the unreadable primary, when there
+    /// was one to preserve.
+    Previous {
+        /// Where the corrupt primary was moved, when it existed.
+        quarantined: Option<PathBuf>,
+    },
 }
 
 /// A non-negative integer field of `parent`, as u64.

@@ -41,7 +41,7 @@ pub mod scorer;
 pub mod sketch;
 pub mod window;
 
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, RecoveredFrom};
 pub use drift::{DriftMonitor, DriftReport};
 pub use model_io::ModelIoError;
 pub use scorer::{OnlineScorer, Verdict};

@@ -4,8 +4,8 @@
 
 use hdoutlier_core::{FittedModel, OutlierDetector, SearchMethod};
 use hdoutlier_data::generators::{planted_outliers, PlantedConfig};
-use hdoutlier_stream::checkpoint::{grid_fingerprint, staging_path};
-use hdoutlier_stream::{Checkpoint, CheckpointError, OnlineScorer};
+use hdoutlier_stream::checkpoint::{corrupt_path, grid_fingerprint, prev_path, staging_path};
+use hdoutlier_stream::{Checkpoint, CheckpointError, OnlineScorer, RecoveredFrom};
 use std::path::PathBuf;
 
 fn fitted(seed: u64) -> (FittedModel, hdoutlier_data::Dataset) {
@@ -155,6 +155,177 @@ fn single_boundary_difference_changes_the_fingerprint() {
     assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
     // The failed restore left the scorer untouched.
     assert_eq!(scorer.records_scored(), 0);
+}
+
+/// Every save rotates the previous generation to `<path>.prev` — the
+/// recovery fallback always holds the last good state, one save behind.
+#[test]
+fn save_atomic_rotates_the_previous_generation() {
+    let (model, ds) = fitted(61);
+    let path = temp_path("rotate.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_path(&path));
+
+    let gen1 = Checkpoint::capture(&scorer_at(&model, &ds, 100), 0, 0);
+    gen1.save_atomic(&path).unwrap();
+    assert!(
+        !prev_path(&path).exists(),
+        "first save has nothing to rotate"
+    );
+
+    let gen2 = Checkpoint::capture(&scorer_at(&model, &ds, 200), 0, 0);
+    gen2.save_atomic(&path).unwrap();
+    assert_eq!(Checkpoint::load(&path).unwrap(), gen2);
+    assert_eq!(Checkpoint::load(&prev_path(&path)).unwrap(), gen1);
+}
+
+/// A corrupt primary is quarantined to `<path>.corrupt` (the evidence
+/// survives) and the rotated generation is restored in its place.
+#[test]
+fn corrupt_primary_is_quarantined_and_prev_restored() {
+    let (model, ds) = fitted(67);
+    let path = temp_path("quarantine.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_path(&path));
+    let _ = std::fs::remove_file(corrupt_path(&path));
+
+    let gen1 = Checkpoint::capture(&scorer_at(&model, &ds, 100), 0, 0);
+    gen1.save_atomic(&path).unwrap();
+    let gen2 = Checkpoint::capture(&scorer_at(&model, &ds, 200), 0, 0);
+    gen2.save_atomic(&path).unwrap();
+
+    // Bit rot / torn write: the primary no longer parses.
+    let good = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+
+    let (loaded, recovered) = Checkpoint::load_with_recovery(&path).unwrap();
+    assert_eq!(loaded, gen1);
+    match recovered {
+        RecoveredFrom::Previous {
+            quarantined: Some(corrupt),
+        } => {
+            assert_eq!(corrupt, corrupt_path(&path));
+            let evidence = std::fs::read_to_string(&corrupt).unwrap();
+            assert_eq!(
+                evidence,
+                good[..good.len() / 3],
+                "evidence preserved verbatim"
+            );
+        }
+        other => panic!("expected quarantined recovery, got {other:?}"),
+    }
+    assert!(!path.exists(), "unreadable primary was moved aside");
+}
+
+/// The one window of the save protocol where the primary is briefly absent
+/// (between the rotation rename and the staging rename): a kill there
+/// leaves only `.prev`, and recovery restores it without quarantining
+/// anything.
+#[test]
+fn missing_primary_recovers_from_prev_without_quarantine() {
+    let (model, ds) = fitted(71);
+    let path = temp_path("rename-window.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(corrupt_path(&path));
+
+    let gen1 = Checkpoint::capture(&scorer_at(&model, &ds, 120), 3, 1);
+    gen1.save_atomic(&path).unwrap();
+    // Replay save_atomic up to the crash point: staging written, primary
+    // rotated away, and then the kill lands before the final rename.
+    let gen2 = Checkpoint::capture(&scorer_at(&model, &ds, 240), 3, 1);
+    std::fs::write(staging_path(&path), gen2.to_json().unwrap().pretty()).unwrap();
+    std::fs::rename(&path, prev_path(&path)).unwrap();
+
+    let (loaded, recovered) = Checkpoint::load_with_recovery(&path).unwrap();
+    assert_eq!(loaded, gen1);
+    assert_eq!(recovered, RecoveredFrom::Previous { quarantined: None });
+    assert!(!corrupt_path(&path).exists());
+}
+
+/// When no generation is loadable, recovery reports the *primary's* error
+/// — the configured path is what the operator must go look at.
+#[test]
+fn recovery_without_any_generation_reports_the_primary_error() {
+    let path = temp_path("hopeless.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_path(&path));
+    let err = Checkpoint::load_with_recovery(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+
+    std::fs::write(&path, "not json at all").unwrap();
+    let err = Checkpoint::load_with_recovery(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Json(_)), "{err}");
+    // The quarantine still happened even though the fallback was empty.
+    assert!(corrupt_path(&path).exists());
+    let _ = std::fs::remove_file(corrupt_path(&path));
+}
+
+/// A write failure (full disk, bad path) surfaces as an error without
+/// touching any existing generation: the staging file is the casualty, not
+/// the durable state.
+#[test]
+fn failed_save_surfaces_io_error_without_clobbering_state() {
+    let (model, ds) = fitted(73);
+    // The parent "directory" is a regular file, so creating the staging
+    // file fails the way a dead disk would — before any rename runs.
+    let bogus_parent = temp_path("not-a-directory");
+    std::fs::write(&bogus_parent, "occupied").unwrap();
+    let path = bogus_parent.join("c.ckpt.json");
+    let cp = Checkpoint::capture(&scorer_at(&model, &ds, 10), 0, 0);
+    let err = cp.save_atomic(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    assert_eq!(std::fs::read_to_string(&bogus_parent).unwrap(), "occupied");
+}
+
+/// The acceptance scenario end to end: a kill -9 in the middle of the
+/// second checkpoint's durability dance recovers via `.prev` to a resume
+/// whose verdict stream is identical to an uninterrupted run.
+#[test]
+fn kill_during_checkpoint_fsync_recovers_via_prev_to_identical_verdicts() {
+    let (model, ds) = fitted(79);
+    let path = temp_path("fsync-kill.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_path(&path));
+
+    let mut reference = OnlineScorer::new(model.clone()).unwrap();
+    reference.set_check_every(64).unwrap();
+    let reference_verdicts: Vec<_> = (0..400)
+        .map(|i| reference.score_record(ds.row(i)).unwrap())
+        .collect();
+
+    // First process: checkpoint at 250, then die mid-way through the
+    // checkpoint at 300 — staging synced, primary rotated, final rename
+    // never happens.
+    let mut first = OnlineScorer::new(model.clone()).unwrap();
+    first.set_check_every(64).unwrap();
+    for i in 0..250 {
+        first.score_record(ds.row(i)).unwrap();
+    }
+    Checkpoint::capture(&first, 0, 0)
+        .save_atomic(&path)
+        .unwrap();
+    for i in 250..300 {
+        first.score_record(ds.row(i)).unwrap();
+    }
+    let half_saved = Checkpoint::capture(&first, 0, 0);
+    std::fs::write(staging_path(&path), half_saved.to_json().unwrap().pretty()).unwrap();
+    std::fs::rename(&path, prev_path(&path)).unwrap();
+    drop(first);
+
+    // Second process: recovery falls back to the 250-record generation and
+    // the tail replays exactly as the uninterrupted run scored it.
+    let (cp, recovered) = Checkpoint::load_with_recovery(&path).unwrap();
+    assert_eq!(recovered, RecoveredFrom::Previous { quarantined: None });
+    let mut resumed = OnlineScorer::new(model).unwrap();
+    cp.restore(&mut resumed).unwrap();
+    assert_eq!(resumed.records_scored(), 250);
+    for (i, reference) in reference_verdicts.iter().enumerate().skip(250) {
+        let v = resumed.score_record(ds.row(i)).unwrap();
+        assert_eq!(v.index, reference.index);
+        assert_eq!(v.outlier, reference.outlier);
+        assert_eq!(v.score, reference.score);
+        assert_eq!(v.drift.is_some(), reference.drift.is_some(), "record {i}");
+    }
 }
 
 /// End-to-end interrupted run at the crate level: kill after a checkpoint,

@@ -1,5 +1,6 @@
 //! Talking to `hdoutlier serve` from a client: create a session, stream
-//! NDJSON records at it, read verdicts back, checkpoint, and drain.
+//! NDJSON records at it with idempotent retries, read verdicts back,
+//! checkpoint, and drain.
 //!
 //! ```text
 //! cargo run --example serve_client
@@ -10,13 +11,23 @@
 //! the way any external client would — plain HTTP/1.1 over TCP, no client
 //! library. Point the same code at a real `hdoutlier serve` process and it
 //! works unchanged.
+//!
+//! The score POSTs demonstrate the full client discipline for a server
+//! that sheds load: each logical request gets one `X-Request-Id`, and on a
+//! `503` the client backs off ([`Backoff`], decorrelated jitter floored by
+//! the server's `Retry-After`) and resends under the *same* id — the
+//! server's per-session replay cache guarantees a retry that raced a
+//! delivered response replays the original verdicts instead of scoring
+//! the records twice.
 
 use hdoutlier::core::{OutlierDetector, SearchMethod};
 use hdoutlier::data::generators::{planted_outliers, PlantedConfig};
 use hdoutlier_json::Json;
+use hdoutlier_net::retry::{parse_retry_after, Backoff, RetryPolicy};
 use hdoutlier_serve::{ServeConfig, ServeHandle};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 fn main() {
     // --- Server side (normally: `hdoutlier serve --addr 127.0.0.1:8787`).
@@ -37,18 +48,19 @@ fn main() {
         .fit(&planted.dataset)
         .expect("fit");
     let handle = ServeHandle::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
-    let addr = handle.local_addr();
+    let addr = handle.local_addr().to_string();
     println!("serving on http://{addr}");
 
     // --- Client side: create a session with the model inline.
     let model_json = hdoutlier::stream::model_io::to_json(&model)
         .expect("render model")
         .render();
-    let (status, body) = http(
-        &addr.to_string(),
+    let (status, _, body) = http(
+        &addr,
         "POST",
         "/sessions",
         &format!("{{\"id\": \"demo\", \"batch\": 16, \"model\": {model_json}}}"),
+        None,
     );
     assert_eq!(status, 201, "{body}");
     println!("created session: {body}");
@@ -67,7 +79,8 @@ fn main() {
         records.push_str(&row.render());
         records.push('\n');
     }
-    let (status, verdicts) = http(&addr.to_string(), "POST", "/sessions/demo/score", &records);
+    let (status, verdicts) =
+        score_with_retry(&addr, "/sessions/demo/score", &records, "demo-req-1");
     assert_eq!(status, 200, "{verdicts}");
     let outliers = verdicts
         .lines()
@@ -80,7 +93,7 @@ fn main() {
     );
 
     // The status document shows the session's running totals.
-    let (status, doc) = http(&addr.to_string(), "GET", "/sessions/demo", "");
+    let (status, _, doc) = http(&addr, "GET", "/sessions/demo", "", None);
     assert_eq!(status, 200);
     println!("status: {doc}");
 
@@ -92,13 +105,50 @@ fn main() {
     );
 }
 
-/// One close-delimited HTTP/1.1 request over a fresh connection.
-fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+/// A score POST with the full retry discipline: one `X-Request-Id` per
+/// logical request, reused verbatim across retries, with decorrelated
+/// backoff floored by the server's `Retry-After` on every `503`.
+fn score_with_retry(addr: &str, path: &str, records: &str, request_id: &str) -> (u16, String) {
+    let mut backoff = Backoff::new(RetryPolicy::default(), fingerprint(request_id));
+    loop {
+        let (status, retry_after, body) = http(addr, "POST", path, records, Some(request_id));
+        if status != 503 {
+            return (status, body);
+        }
+        match backoff.next_delay(retry_after) {
+            Some(delay) => {
+                println!("server shedding ({body:?}); retrying {request_id} in {delay:?}");
+                std::thread::sleep(delay);
+            }
+            None => return (status, body),
+        }
+    }
+}
+
+/// A stable per-request seed so concurrent clients decorrelate.
+fn fingerprint(id: &str) -> u64 {
+    id.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// One close-delimited HTTP/1.1 request over a fresh connection. Returns
+/// the status, the parsed `Retry-After` hint (if any), and the body.
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    request_id: Option<&str>,
+) -> (u16, Option<Duration>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    let id_header = request_id
+        .map(|id| format!("X-Request-Id: {id}\r\n"))
+        .unwrap_or_default();
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\
+                "{method} {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n{id_header}\
                  Content-Length: {}\r\n\r\n{body}",
                 body.len()
             )
@@ -114,5 +164,11 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
         .expect("status code")
         .parse()
         .expect("numeric status");
-    (status, payload.to_string())
+    let retry_after = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| parse_retry_after(value))
+            .flatten()
+    });
+    (status, retry_after, payload.to_string())
 }
