@@ -53,6 +53,14 @@ use std::time::{Duration, Instant};
 
 pub mod retry;
 
+/// Write budget for connection-budget `503` refusals. These are written
+/// inline on the single accept thread (there is no free worker to hand
+/// them to — that is why they are being refused), so they get a short
+/// dedicated timeout instead of [`ServerConfig::io_timeout`]: a rejected
+/// peer that stalls its receive window must not pause all accepts for the
+/// full I/O timeout at exactly the moment the server is saturated.
+const REFUSAL_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -103,7 +111,9 @@ pub struct Response {
     /// Response body bytes.
     pub body: Vec<u8>,
     /// Extra headers beyond the framing set (`Retry-After`, …). Names and
-    /// values are written verbatim; callers must not include CR/LF.
+    /// values are written verbatim into the response head; callers must not
+    /// include CR/LF. [`Response::with_header`] enforces this — prefer it
+    /// over pushing here directly.
     pub headers: Vec<(String, String)>,
 }
 
@@ -148,9 +158,23 @@ impl Response {
     }
 
     /// Adds an extra response header (builder style).
+    ///
+    /// Header names and values are written verbatim into the response
+    /// head, so a CR/LF smuggled in (e.g. from a client-derived value)
+    /// would become header or response injection. Each CR/LF is replaced
+    /// with a space here, making the wire framing unbreakable by any
+    /// header content a handler passes.
     #[must_use]
     pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        self.headers.push((name.into(), value.into()));
+        let sanitize = |s: String| {
+            if s.contains(['\r', '\n']) {
+                s.replace(['\r', '\n'], " ")
+            } else {
+                s
+            }
+        };
+        self.headers
+            .push((sanitize(name.into()), sanitize(value.into())));
         self
     }
 
@@ -424,8 +448,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(queue);
             // Refuse in-line rather than queueing unboundedly; the write is
             // best-effort (a client that already gave up is not our problem).
+            // This runs on the single accept thread, so a stalling rejected
+            // peer must never hold it for the full io_timeout — a short
+            // dedicated budget keeps accepts moving exactly when the server
+            // is already saturated.
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+            let refusal_timeout = shared.config.io_timeout.min(REFUSAL_WRITE_TIMEOUT);
+            let _ = stream.set_write_timeout(Some(refusal_timeout));
             let _ = write_response(
                 &mut stream,
                 &Response::text(503, "server is at its connection budget; retry\n")
@@ -876,6 +905,24 @@ mod tests {
         assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
         assert_ne!(a, b);
         assert!(is_valid_request_id(&a));
+    }
+
+    #[test]
+    fn with_header_neutralizes_crlf_injection() {
+        // A clean header passes through untouched.
+        let r = Response::text(200, "ok").with_header("Retry-After", "3");
+        assert_eq!(r.headers, vec![("Retry-After".into(), "3".into())]);
+        // A CR/LF smuggled through a client-derived value cannot break the
+        // response head into extra headers or a second response.
+        let r = Response::text(200, "ok")
+            .with_header("X-Echo", "a\r\nX-Evil: 1\r\n\r\nHTTP/1.1 200 OK");
+        let (name, value) = &r.headers[0];
+        assert_eq!(name, "X-Echo");
+        assert!(!value.contains('\r') && !value.contains('\n'), "{value:?}");
+        assert_eq!(value, "a  X-Evil: 1    HTTP/1.1 200 OK");
+        // Hostile names are neutralized the same way.
+        let r = Response::text(200, "ok").with_header("X\r\nX-Evil", "v");
+        assert_eq!(r.headers[0].0, "X  X-Evil");
     }
 
     #[test]

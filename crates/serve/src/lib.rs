@@ -195,6 +195,13 @@ struct Activity {
     records: u64,
     outliers: u64,
     errors: u64,
+    /// The request was refused by admission control before reaching its
+    /// handler. Shed refusals are accounted by `hdoutlier.serve.shed` and
+    /// kept out of `requests`/`request_duration_us` — those two feed the
+    /// SLO engine, and a shed 503 counting as a route error would make the
+    /// admission controller's own refusals hold the verdict unhealthy
+    /// forever under steady client retries.
+    shed: bool,
 }
 
 /// The session registry and request router — everything about the scoring
@@ -321,11 +328,16 @@ impl ServeApp {
         };
         let duration = start.elapsed();
         let status = response.status.to_string();
-        self.metrics.requests.with(&[route, &status]).inc();
-        self.metrics
-            .request_duration_us
-            .with(&[route])
-            .record_duration(duration);
+        // Shed refusals never reached a handler: they are counted under
+        // `shed{reason}` only (see [`Activity::shed`]), so admission
+        // control's 503s cannot feed the SLO verdict it sheds on.
+        if !activity.shed {
+            self.metrics.requests.with(&[route, &status]).inc();
+            self.metrics
+                .request_duration_us
+                .with(&[route])
+                .record_duration(duration);
+        }
         obs::event(
             obs::Level::Info,
             TARGET,
@@ -339,6 +351,7 @@ impl ServeApp {
                 ("outliers", obs::Value::U64(activity.outliers)),
                 ("errors", obs::Value::U64(activity.errors)),
                 ("duration_us", obs::Value::U64(duration.as_micros() as u64)),
+                ("shed", obs::Value::Bool(activity.shed)),
             ],
         );
         response
@@ -350,7 +363,7 @@ impl ServeApp {
         let method = request.method.as_str();
         if let Some(rest) = path.strip_prefix("/sessions") {
             return match (method, rest) {
-                ("POST", "" | "/") => self.create_session(request),
+                ("POST", "" | "/") => self.create_session(request, activity),
                 ("GET", "" | "/") => self.list_sessions(),
                 _ => {
                     let Some(rest) = rest.strip_prefix('/') else {
@@ -449,9 +462,13 @@ impl ServeApp {
     }
 
     /// `POST /sessions`.
-    fn create_session(&self, request: &Request) -> Response {
+    fn create_session(&self, request: &Request, activity: &mut Activity) -> Response {
         if self.shutdown_requested() {
-            return self.shed("draining", error_response(503, "server is draining"));
+            return self.shed(
+                "draining",
+                activity,
+                error_response(503, "server is draining"),
+            );
         }
         let body = match request.body_utf8() {
             Ok(b) => b,
@@ -544,9 +561,12 @@ impl ServeApp {
     }
 
     /// Marks a refused request as shed: counts it under its reason, emits
-    /// the `shed` Warn event, and stamps the response with `Retry-After`
-    /// so well-behaved clients back off instead of hammering.
-    fn shed(&self, reason: &'static str, response: Response) -> Response {
+    /// the `shed` Warn event, flags the [`Activity`] so request-scoped
+    /// telemetry keeps the refusal out of the SLO-feeding metrics, and
+    /// stamps the response with `Retry-After` so well-behaved clients back
+    /// off instead of hammering.
+    fn shed(&self, reason: &'static str, activity: &mut Activity, response: Response) -> Response {
+        activity.shed = true;
         self.metrics.shed.with(&[reason]).inc();
         obs::event(
             obs::Level::Warn,
@@ -584,39 +604,51 @@ impl ServeApp {
         verdict
     }
 
-    /// The admission decision for one score POST: `Some(503)` when the
-    /// request must be shed (in-flight cap reached, SLO unhealthy), `None`
-    /// when it may proceed. Probe routes, session management, and DELETE
-    /// never pass through here — only scoring is load-shed.
-    fn admit_score(&self) -> Option<Response> {
+    /// The admission decision for one score POST: the in-flight slot the
+    /// admitted request holds for its whole execution, or the shed `503`
+    /// (in-flight cap reached, SLO unhealthy). Probe routes, session
+    /// management, and DELETE never pass through here — only scoring is
+    /// load-shed.
+    fn admit_score(&self, activity: &mut Activity) -> Result<InflightGuard<'_>, Response> {
+        // Claim the slot *before* checking the cap: a load-then-increment
+        // window would let every worker at cap-1 pass at once. The guard's
+        // prior count is the atomic admission test; on shed it drops here,
+        // releasing the claim.
+        let guard = InflightGuard::enter(&self.inflight_scores);
         let cap = self.config.shed_max_inflight as u64;
-        if cap > 0 && self.inflight_scores.load(Ordering::SeqCst) >= cap {
-            return Some(self.shed(
+        if cap > 0 && guard.prior >= cap {
+            return Err(self.shed(
                 "inflight",
+                activity,
                 error_response(503, &format!("score concurrency cap reached ({cap})")),
             ));
         }
         if self.config.shed_on_unhealthy && self.admission_verdict() == obs::SloVerdict::Unhealthy {
-            return Some(self.shed(
+            return Err(self.shed(
                 "slo",
+                activity,
                 error_response(503, "shedding load: SLO verdict is unhealthy"),
             ));
         }
-        None
+        Ok(guard)
     }
 
     /// `POST /sessions/{id}/score`.
     fn score(&self, id: &str, request: &Request, activity: &mut Activity) -> Response {
         if self.shutdown_requested() {
-            return self.shed("draining", error_response(503, "server is draining"));
+            return self.shed(
+                "draining",
+                activity,
+                error_response(503, "server is draining"),
+            );
         }
         let Some(session) = self.session(id) else {
             return error_response(404, &format!("no session {id:?}"));
         };
-        if let Some(refused) = self.admit_score() {
-            return refused;
-        }
-        let _inflight = InflightGuard::enter(&self.inflight_scores);
+        let _inflight = match self.admit_score(activity) {
+            Ok(guard) => guard,
+            Err(refused) => return refused,
+        };
         let body = match request.body_utf8() {
             Ok(b) => b,
             Err(e) => return error_response(400, e),
@@ -755,19 +787,24 @@ impl ServeApp {
 
 /// RAII in-flight counter: admitted score requests hold one for their
 /// whole execution, so the admission controller sees a live concurrency
-/// reading even when a handler exits early.
-struct InflightGuard<'a>(&'a AtomicU64);
+/// reading even when a handler exits early. `prior` is the count observed
+/// by the claiming `fetch_add` — the admission controller's atomic
+/// cap test (claim first, shed and release when over).
+struct InflightGuard<'a> {
+    counter: &'a AtomicU64,
+    prior: u64,
+}
 
 impl<'a> InflightGuard<'a> {
     fn enter(counter: &'a AtomicU64) -> InflightGuard<'a> {
-        counter.fetch_add(1, Ordering::SeqCst);
-        InflightGuard(counter)
+        let prior = counter.fetch_add(1, Ordering::SeqCst);
+        InflightGuard { counter, prior }
     }
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.counter.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -337,6 +337,77 @@ fn unhealthy_score_route_slo_sheds_scores_but_admits_probes() {
     assert_eq!(deleted.status, 500, "{}", body_text(&deleted));
 }
 
+/// Regression: the admission controller's own 503s must not feed the SLO
+/// engine. If shed refusals counted as route 5xx, steady client retries
+/// would hold the error rate near 1.0 and the score route would shed
+/// forever — recovery would require traffic to *stop* for a full window.
+/// Here the client never stops sending: once the fault is repaired, shed
+/// refusals add no new route errors, so the next SLO readings delta to
+/// zero against the in-window baseline and scoring must come back while
+/// shed traffic is still flowing.
+#[test]
+fn slo_shedding_recovers_under_sustained_traffic() {
+    let (model, ds) = fitted(107);
+    // checkpoint_every=1 against a checkpoint "directory" that is a file —
+    // the same deterministic 500 generator as the shed test above, but
+    // this fault is repairable mid-test.
+    let dir = temp_dir("shed-recover");
+    let ckpt = dir.join("ckpt");
+    std::fs::write(&ckpt, "occupied").unwrap();
+    let app = ServeApp::new(ServeConfig {
+        checkpoint_dir: Some(ckpt.clone()),
+        slo_window: Duration::from_secs(2),
+        shed_retry_after: Duration::from_secs(1),
+        ..ServeConfig::default()
+    });
+    app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"w\", \"checkpoint_every\": 1"),
+    ));
+
+    // Phase 1: genuine 500s flip the route verdict and shedding starts.
+    let mut shed = false;
+    for _ in 0..40 {
+        let response = app.handle(&req("POST", "/sessions/w/score", ndjson_rows(&ds, 0..1)));
+        match response.status {
+            500 => {}
+            503 => {
+                shed = true;
+                break;
+            }
+            other => panic!("unexpected status {other}: {}", body_text(&response)),
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    assert!(shed, "the failing score route never tripped SLO shedding");
+
+    // Phase 2: repair the fault (the path becomes a real directory) and
+    // keep hammering without a pause. Every refusal during this phase is a
+    // shed 503; were those counted as route errors, every verdict refresh
+    // would see fresh errors and this loop would 503 until the deadline
+    // below.
+    std::fs::remove_file(&ckpt).unwrap();
+    std::fs::create_dir_all(&ckpt).unwrap();
+    let mut recovered = false;
+    for _ in 0..300 {
+        let response = app.handle(&req("POST", "/sessions/w/score", ndjson_rows(&ds, 0..1)));
+        match response.status {
+            200 => {
+                recovered = true;
+                break;
+            }
+            503 => {}
+            other => panic!("unexpected status {other}: {}", body_text(&response)),
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    assert!(
+        recovered,
+        "score route never recovered while shed traffic kept flowing"
+    );
+}
+
 /// Disabling SLO shedding admits scores even under a red route verdict.
 #[test]
 fn no_slo_shed_config_admits_scores_under_unhealthy_verdict() {
