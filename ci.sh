@@ -6,6 +6,7 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --release --offline --workspace
+cargo build --offline --examples
 cargo test -q --offline --workspace
 
 # Observability: unit tests for the in-tree tracing/metrics crate, then an
@@ -67,6 +68,18 @@ cargo test -q --offline -p hdoutlier-serve --test chaos
 # allocation-weighted twin fed by the counting allocator
 # (crates/cli/tests/profile_e2e.rs).
 cargo test -q --offline -p hdoutlier-cli --test profile_e2e
+
+# Scenario packs: seeded end-to-end runs of the real pipelines (detect
+# brute + evolutionary, drill-down/explain, baselines + CFOF/DOD referees,
+# stream with checkpoint/kill/resume, serve over loopback TCP) against
+# planted ground truth, byte-compared to the golden reports in
+# tests/goldens/ after normalization (crates/cli/tests/scenario.rs runs the
+# same gate in-process). On a mismatch the gate prints a unified diff; if
+# the change is intentional, regenerate deliberately with
+#     ./target/release/hdoutlier scenario update-goldens
+# (it refuses while a pack's ground-truth invariants fail, so a wrong
+# golden can never be enshrined) and commit the tests/goldens/ diff.
+./target/release/hdoutlier scenario check
 
 # Perf gate: the streaming hot path must stay within noise of the recorded
 # baseline (BENCH_stream.json). Tolerance is generous (50%) because absolute

@@ -16,6 +16,14 @@
 //!   outliers (VLDB 1999) — the roll-up/drill-down lattice method whose
 //!   combinatorial cost §1 of the paper critiques.
 //!
+//! Two further scorers serve as *referees* for the scenario packs rather
+//! than paper-era comparators:
+//!
+//! - [`cfof`]: Angiulli's Concentration-Free Outlier Factor — a
+//!   reverse-kNN rank statistic that resists distance concentration.
+//! - [`dod`]: Lee & Jeon's Distance-of-Distances — deviation of a point's
+//!   sorted distance profile from the dataset's median profile.
+//!
 //! Substrate: [`distance`] (Minkowski norms) and [`nn`] (brute-force and
 //! vantage-point-tree k-nearest-neighbor search).
 //!
@@ -25,14 +33,18 @@
 //! subspace detector (which consumes missing data natively) is itself one of
 //! the paper's points (§1.2).
 
+pub mod cfof;
 pub mod distance;
+pub mod dod;
 pub mod intensional;
 pub mod knn_outlier;
 pub mod knorr_ng;
 pub mod lof;
 pub mod nn;
 
+pub use cfof::{cfof_scores, cfof_scores_threaded};
 pub use distance::Metric;
+pub use dod::{dod_scores, dod_scores_threaded};
 pub use intensional::{intensional_outliers, IntensionalConfig};
 pub use knn_outlier::{ramaswamy_top_n, ramaswamy_top_n_threaded};
 pub use knorr_ng::{knorr_ng_outliers, suggest_lambda};

@@ -5,6 +5,7 @@ pub mod advise;
 pub mod baseline;
 pub mod detect;
 pub mod explain;
+pub mod scenario;
 pub mod score;
 pub mod serve;
 pub mod stream;

@@ -48,6 +48,7 @@ COMMANDS:
     explain   rank every subspace view of one record by abnormality
     advise    recommend phi and k for a dataset size (the paper's Eq. 2)
     baseline  run a distance-based comparator (knn | lof | knorr-ng)
+    scenario  run seeded end-to-end scenario packs against golden reports
     help      show this message
 
 Run `hdoutlier <COMMAND> --help` for per-command options.
@@ -84,6 +85,7 @@ pub fn run_to(argv: &[String], sink: &mut impl std::io::Write) -> (i32, String) 
         "explain" => commands::explain::run_to(rest, sink),
         "advise" => emit(commands::advise::run(rest), sink),
         "baseline" => commands::baseline::run_to(rest, sink),
+        "scenario" => commands::scenario::run_to(rest, sink),
         "help" | "--help" | "-h" => (exit::OK, USAGE.to_string()),
         other => (exit::USAGE, format!("unknown command {other:?}\n\n{USAGE}")),
     }

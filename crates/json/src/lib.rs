@@ -8,6 +8,8 @@
 //! crate is dependency-free so every layer (CLI reports, `hdoutlier-stream`
 //! checkpoints, bench baselines) shares one implementation.
 
+pub mod normalize;
+
 use std::fmt;
 use std::fmt::Write as _;
 

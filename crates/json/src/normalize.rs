@@ -1,0 +1,158 @@
+//! Stable normalization of reports for golden-file comparison.
+//!
+//! A `--json` report is *almost* deterministic: the pipelines are seeded and
+//! the pool merges are order-invariant, but wall-clock fields
+//! (`elapsed_ms`), timestamps, and host identity differ between runs. The
+//! scenario harness byte-compares reports against checked-in goldens, so
+//! those fields must be scrubbed to a canonical value first — and the scrub
+//! must be **idempotent**, so normalizing an already-normalized report (or
+//! a golden file read back from disk) is a no-op.
+//!
+//! The rule: any field whose key is in the volatile set has its value
+//! replaced by the canonical zero of its type — numbers become `0`, strings
+//! become `""`, anything else becomes `null`. Everything else is recursed
+//! into unchanged. Canonical zeros are fixed points of the scrub, which is
+//! what makes the whole transform idempotent by construction.
+
+use crate::Json;
+
+/// Field names treated as volatile in every report this workspace emits:
+/// wall-clock durations, absolute timestamps, and host identity.
+pub const VOLATILE_KEYS: &[&str] = &[
+    "elapsed_ms",
+    "elapsed_us",
+    "duration_us",
+    "timestamp",
+    "ts_us",
+    "start_ts_us",
+    "uptime_seconds",
+    "host",
+    "hostname",
+    "generated_at",
+];
+
+/// Normalizes a report with the default [`VOLATILE_KEYS`].
+pub fn normalize_report(json: &Json) -> Json {
+    normalize_with(json, VOLATILE_KEYS)
+}
+
+/// Normalizes a report, scrubbing every field whose key is in `volatile`.
+/// Key matching is exact and applies at any nesting depth, inside arrays
+/// included. The scrub is idempotent: `normalize_with(&normalize_with(j,
+/// v), v) == normalize_with(j, v)` for every `j`.
+pub fn normalize_with(json: &Json, volatile: &[&str]) -> Json {
+    match json {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    let value = if volatile.iter().any(|name| name == k) {
+                        scrub(v)
+                    } else {
+                        normalize_with(v, volatile)
+                    };
+                    (k.clone(), value)
+                })
+                .collect(),
+        ),
+        Json::Array(items) => {
+            Json::Array(items.iter().map(|v| normalize_with(v, volatile)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical zero for a volatile value: numbers flatten to `0`, strings
+/// to `""`, and structured or other values to `null`. Every output of this
+/// function maps to itself, so a second scrub changes nothing.
+fn scrub(value: &Json) -> Json {
+    match value {
+        Json::Number(_) => Json::Number(0.0),
+        Json::String(_) => Json::String(String::new()),
+        _ => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FieldChain;
+
+    #[test]
+    fn volatile_numbers_zero_and_strings_empty() {
+        let j = Json::object()
+            .field("elapsed_ms", 12.75)
+            .field("host", "worker-3")
+            .field("work", 42u32)
+            .unwrap();
+        let n = normalize_report(&j);
+        assert_eq!(n.get("elapsed_ms"), Some(&Json::Number(0.0)));
+        assert_eq!(n.get("host"), Some(&Json::String(String::new())));
+        // Non-volatile fields are untouched.
+        assert_eq!(n.get("work"), Some(&Json::Number(42.0)));
+    }
+
+    #[test]
+    fn scrub_reaches_into_nested_objects_and_arrays() {
+        let inner = Json::object().field("elapsed_ms", 3.25).unwrap();
+        let j = Json::object()
+            .field("stats", Json::object().field("elapsed_ms", 9.5).unwrap())
+            .field("runs", Json::Array(vec![inner]))
+            .unwrap();
+        let n = normalize_report(&j);
+        assert_eq!(
+            n.get("stats").and_then(|s| s.get("elapsed_ms")),
+            Some(&Json::Number(0.0))
+        );
+        let runs = n.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs[0].get("elapsed_ms"), Some(&Json::Number(0.0)));
+    }
+
+    #[test]
+    fn structured_volatile_values_collapse_to_null() {
+        let j = Json::object()
+            .field("host", Json::object().field("name", "x").unwrap())
+            .field("timestamp", Json::Array(vec![Json::Number(1.0)]))
+            .unwrap();
+        let n = normalize_report(&j);
+        assert_eq!(n.get("host"), Some(&Json::Null));
+        assert_eq!(n.get("timestamp"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn volatile_key_lookup_is_exact() {
+        // `elapsed_ms_total` is not in the set; only exact names scrub.
+        let j = Json::object().field("elapsed_ms_total", 7u32).unwrap();
+        let n = normalize_report(&j);
+        assert_eq!(n.get("elapsed_ms_total"), Some(&Json::Number(7.0)));
+    }
+
+    #[test]
+    fn custom_volatile_sets_are_honored() {
+        let j = Json::object()
+            .field("elapsed_ms", 5u32)
+            .field("custom", "x")
+            .unwrap();
+        let n = normalize_with(&j, &["custom"]);
+        assert_eq!(n.get("elapsed_ms"), Some(&Json::Number(5.0)));
+        assert_eq!(n.get("custom"), Some(&Json::String(String::new())));
+    }
+
+    #[test]
+    fn normalizing_twice_is_a_fixed_point() {
+        let j = Json::object()
+            .field("elapsed_ms", 1.5)
+            .field(
+                "nested",
+                Json::object()
+                    .field("host", "h")
+                    .field("values", Json::Array(vec![Json::Number(1.0), Json::Null]))
+                    .unwrap(),
+            )
+            .unwrap();
+        let once = normalize_report(&j);
+        let twice = normalize_report(&once);
+        assert_eq!(once, twice);
+        assert_eq!(once.render(), twice.render());
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded property tests for the golden-report normalizer: for arbitrary
+//! JSON documents — volatile keys sprinkled at every depth — normalization
+//! is idempotent, leaves non-volatile content untouched, and survives a
+//! render/parse round trip byte-identically.
+
+use hdoutlier_json::normalize::{normalize_report, normalize_with, VOLATILE_KEYS};
+use hdoutlier_json::Json;
+use hdoutlier_rng::rngs::StdRng;
+use hdoutlier_rng::{Rng, SeedableRng};
+
+/// Generates an arbitrary JSON value of bounded depth. Volatile keys from
+/// the default set are deliberately mixed in among plain keys so the scrub
+/// path is exercised at every level.
+fn arbitrary(rng: &mut StdRng, depth: usize) -> Json {
+    let kind = if depth == 0 {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..6)
+    };
+    match kind {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0..2) == 0),
+        2 => Json::Number(match rng.gen_range(0..4) {
+            0 => 0.0,
+            1 => -(rng.gen_range(0..1_000_000) as f64) / 128.0,
+            2 => rng.gen_range(0..u32::MAX as usize) as f64,
+            _ => rng.gen::<f64>() * 1e9,
+        }),
+        3 => {
+            let len = rng.gen_range(0..12);
+            Json::String(
+                (0..len)
+                    .map(|_| rng.gen_range(b' '..b'~') as char)
+                    .collect(),
+            )
+        }
+        4 => {
+            let len = rng.gen_range(0..5);
+            Json::Array((0..len).map(|_| arbitrary(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..6);
+            Json::Object(
+                (0..len)
+                    .map(|i| {
+                        // Roughly a third of keys are volatile.
+                        let key = if rng.gen_range(0..3) == 0 {
+                            VOLATILE_KEYS[rng.gen_range(0..VOLATILE_KEYS.len())].to_string()
+                        } else {
+                            format!("key_{i}_{}", rng.gen_range(0..100))
+                        };
+                        (key, arbitrary(rng, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn normalize_is_idempotent_on_arbitrary_documents() {
+    let mut rng = StdRng::seed_from_u64(0x5ce9a410);
+    for case in 0..500 {
+        let doc = arbitrary(&mut rng, 4);
+        let once = normalize_report(&doc);
+        let twice = normalize_report(&once);
+        assert_eq!(once, twice, "case {case}: {}", doc.render());
+        // Byte-level too: rendering a fixed point is a fixed point.
+        assert_eq!(once.pretty(), twice.pretty(), "case {case}");
+    }
+}
+
+#[test]
+fn normalize_round_trips_through_render_and_parse() {
+    let mut rng = StdRng::seed_from_u64(0xfeed5eed);
+    for case in 0..200 {
+        let doc = arbitrary(&mut rng, 3);
+        let normalized = normalize_report(&doc);
+        let rendered = normalized.pretty();
+        let reparsed = Json::parse(&rendered).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // A golden file read back from disk normalizes to itself.
+        assert_eq!(
+            normalize_report(&reparsed).pretty(),
+            rendered,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn documents_without_volatile_keys_are_unchanged() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..200 {
+        let doc = arbitrary(&mut rng, 3);
+        // With an empty volatile set nothing may change, whatever the doc.
+        assert_eq!(normalize_with(&doc, &[]), doc);
+    }
+}

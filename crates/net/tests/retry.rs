@@ -1,0 +1,131 @@
+//! Edge-case coverage for the client retry discipline: `parse_retry_after`
+//! on degenerate header values, and `Backoff`'s determinism-by-seed and
+//! floor/ceiling guarantees under server hints.
+
+use hdoutlier_net::retry::{parse_retry_after, Backoff, RetryPolicy};
+use std::time::Duration;
+
+#[test]
+fn parse_retry_after_missing_or_empty_value() {
+    assert_eq!(parse_retry_after(""), None);
+    assert_eq!(parse_retry_after("   "), None);
+    assert_eq!(parse_retry_after("\t\r\n"), None);
+}
+
+#[test]
+fn parse_retry_after_zero_is_a_valid_hint() {
+    // "Retry-After: 0" means "come back whenever" — a zero floor, not an
+    // invalid header. The backoff's own jitter still applies.
+    assert_eq!(parse_retry_after("0"), Some(Duration::ZERO));
+    assert_eq!(parse_retry_after(" 0 "), Some(Duration::ZERO));
+}
+
+#[test]
+fn parse_retry_after_huge_values() {
+    // The largest value that fits u64 seconds parses; one past it is
+    // rejected rather than wrapping.
+    let max = u64::MAX.to_string();
+    assert_eq!(parse_retry_after(&max), Some(Duration::from_secs(u64::MAX)));
+    assert_eq!(parse_retry_after("18446744073709551616"), None);
+    assert_eq!(parse_retry_after(&"9".repeat(100)), None);
+}
+
+#[test]
+fn parse_retry_after_non_numeric_forms() {
+    assert_eq!(parse_retry_after("soon"), None);
+    assert_eq!(parse_retry_after("1.5"), None, "fractional seconds");
+    assert_eq!(parse_retry_after("-3"), None, "negative");
+    assert_eq!(parse_retry_after("1 0"), None, "internal whitespace");
+    assert_eq!(parse_retry_after("10s"), None, "unit suffix");
+    assert_eq!(parse_retry_after("0x10"), None, "hex");
+    assert_eq!(
+        parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT"),
+        None,
+        "HTTP-date form is not supported"
+    );
+}
+
+fn tight_policy() -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(250),
+        max_retries: 16,
+    }
+}
+
+#[test]
+fn same_seed_same_schedule_even_with_hints() {
+    // Determinism must survive interleaved server hints, because a hint
+    // only floors the returned value — it must not consume extra RNG draws.
+    let hints = [
+        None,
+        Some(Duration::from_millis(5)),
+        None,
+        Some(Duration::from_secs(1)),
+        None,
+    ];
+    let mut a = Backoff::new(tight_policy(), 77);
+    let mut b = Backoff::new(tight_policy(), 77);
+    for hint in hints {
+        assert_eq!(a.next_delay(hint), b.next_delay(hint));
+    }
+    // And replaying without hints still matches a hint-free twin from here.
+    let rest_a: Vec<_> = std::iter::from_fn(|| a.next_delay(None)).collect();
+    let rest_b: Vec<_> = std::iter::from_fn(|| b.next_delay(None)).collect();
+    assert_eq!(rest_a, rest_b);
+}
+
+#[test]
+fn different_seeds_decorrelate() {
+    let schedules: Vec<Vec<Duration>> = (0..4u64)
+        .map(|seed| {
+            let mut backoff = Backoff::new(tight_policy(), seed);
+            std::iter::from_fn(|| backoff.next_delay(None)).collect()
+        })
+        .collect();
+    let distinct: std::collections::HashSet<_> = schedules.iter().collect();
+    assert!(distinct.len() > 1, "all seeds produced one schedule");
+}
+
+#[test]
+fn every_delay_respects_base_floor_and_cap_ceiling() {
+    for seed in 0..32u64 {
+        let policy = tight_policy();
+        let mut backoff = Backoff::new(policy.clone(), seed);
+        let mut count = 0;
+        while let Some(delay) = backoff.next_delay(None) {
+            assert!(delay >= policy.base, "seed {seed}: {delay:?} under base");
+            assert!(delay <= policy.cap, "seed {seed}: {delay:?} over cap");
+            count += 1;
+        }
+        assert_eq!(count, policy.max_retries);
+    }
+}
+
+#[test]
+fn server_hint_floors_but_never_shortens() {
+    let mut backoff = Backoff::new(tight_policy(), 5);
+    // A hint above the cap wins outright.
+    let delay = backoff.next_delay(Some(Duration::from_secs(3))).unwrap();
+    assert!(delay >= Duration::from_secs(3));
+    // A zero hint is identical to no hint: jitter still floors at base.
+    let delay = backoff.next_delay(parse_retry_after("0")).unwrap();
+    assert!(delay >= tight_policy().base);
+    assert!(delay <= tight_policy().cap);
+}
+
+#[test]
+fn exhaustion_ignores_hints() {
+    let mut backoff = Backoff::new(
+        RetryPolicy {
+            max_retries: 1,
+            ..tight_policy()
+        },
+        3,
+    );
+    assert_eq!(backoff.retries_left(), 1);
+    assert!(backoff.next_delay(None).is_some());
+    assert_eq!(backoff.retries_left(), 0);
+    // Even an explicit server invitation cannot reopen a spent budget.
+    assert!(backoff.next_delay(Some(Duration::from_secs(1))).is_none());
+}

@@ -1,0 +1,180 @@
+//! A minimal unified diff for golden mismatches: enough `@@`-hunk output
+//! for a human to see exactly which verdict, score, or ranking moved,
+//! without an external diff tool in CI.
+
+/// One line-level edit.
+enum Op<'a> {
+    Equal(&'a str),
+    Delete(&'a str),
+    Insert(&'a str),
+}
+
+/// Renders a unified diff (`---`/`+++` headers, `@@` hunks, `context`
+/// lines of surrounding equality) between `expected` and `actual`.
+/// Returns an empty string when the texts are identical.
+pub fn unified(
+    expected_label: &str,
+    expected: &str,
+    actual_label: &str,
+    actual: &str,
+    context: usize,
+) -> String {
+    if expected == actual {
+        return String::new();
+    }
+    let a: Vec<&str> = expected.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    let ops = edit_script(&a, &b);
+
+    let mut out = format!("--- {expected_label}\n+++ {actual_label}\n");
+    // Walk the script, grouping changed runs (plus context) into hunks.
+    let mut i = 0usize;
+    while i < ops.len() {
+        if matches!(ops[i], Op::Equal(_)) {
+            i += 1;
+            continue;
+        }
+        // A change at `i`: the hunk spans from `context` lines before it to
+        // `context` equal lines after the last change reachable without a
+        // gap of more than `2 * context` equal lines.
+        let start = i.saturating_sub(context);
+        let mut end = i;
+        let mut last_change = i;
+        while end < ops.len() {
+            if !matches!(ops[end], Op::Equal(_)) {
+                last_change = end;
+            } else if end - last_change > 2 * context {
+                break;
+            }
+            end += 1;
+        }
+        let end = (last_change + context + 1).min(ops.len());
+
+        // Hunk header needs the 1-based start lines and counts per side.
+        let (mut a_line, mut b_line) = (1usize, 1usize);
+        for op in &ops[..start] {
+            match op {
+                Op::Equal(_) => {
+                    a_line += 1;
+                    b_line += 1;
+                }
+                Op::Delete(_) => a_line += 1,
+                Op::Insert(_) => b_line += 1,
+            }
+        }
+        let a_count = ops[start..end]
+            .iter()
+            .filter(|o| matches!(o, Op::Equal(_) | Op::Delete(_)))
+            .count();
+        let b_count = ops[start..end]
+            .iter()
+            .filter(|o| matches!(o, Op::Equal(_) | Op::Insert(_)))
+            .count();
+        out.push_str(&format!("@@ -{a_line},{a_count} +{b_line},{b_count} @@\n"));
+        for op in &ops[start..end] {
+            match op {
+                Op::Equal(line) => {
+                    out.push(' ');
+                    out.push_str(line);
+                }
+                Op::Delete(line) => {
+                    out.push('-');
+                    out.push_str(line);
+                }
+                Op::Insert(line) => {
+                    out.push('+');
+                    out.push_str(line);
+                }
+            }
+            out.push('\n');
+        }
+        i = end;
+    }
+    out
+}
+
+/// Longest-common-subsequence edit script via the classic O(n·m) DP.
+/// Goldens are a few hundred lines, so the quadratic table is cheap; both
+/// inputs are capped defensively so a pathological artifact cannot blow
+/// memory.
+fn edit_script<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<Op<'a>> {
+    const CAP: usize = 20_000;
+    if a.len() > CAP || b.len() > CAP {
+        // Fallback: whole-file replacement — still a valid diff.
+        let mut ops: Vec<Op<'a>> = a.iter().map(|&l| Op::Delete(l)).collect();
+        ops.extend(b.iter().map(|&l| Op::Insert(l)));
+        return ops;
+    }
+    let (n, m) = (a.len(), b.len());
+    // lcs[i][j] = LCS length of a[i..] and b[j..], flattened.
+    let width = m + 1;
+    let mut lcs = vec![0u32; (n + 1) * width];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i * width + j] = if a[i] == b[j] {
+                lcs[(i + 1) * width + j + 1] + 1
+            } else {
+                lcs[(i + 1) * width + j].max(lcs[i * width + j + 1])
+            };
+        }
+    }
+    let mut ops = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push(Op::Equal(a[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[(i + 1) * width + j] >= lcs[i * width + j + 1] {
+            ops.push(Op::Delete(a[i]));
+            i += 1;
+        } else {
+            ops.push(Op::Insert(b[j]));
+            j += 1;
+        }
+    }
+    ops.extend(a[i..].iter().map(|&l| Op::Delete(l)));
+    ops.extend(b[j..].iter().map(|&l| Op::Insert(l)));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_diff_empty() {
+        assert_eq!(unified("a", "x\ny\n", "b", "x\ny\n", 3), "");
+    }
+
+    #[test]
+    fn single_changed_line_yields_one_hunk() {
+        let expected = "one\ntwo\nthree\nfour\nfive\n";
+        let actual = "one\ntwo\nTHREE\nfour\nfive\n";
+        let d = unified("golden", expected, "run", actual, 1);
+        assert!(d.starts_with("--- golden\n+++ run\n"), "{d}");
+        assert!(d.contains("@@ -2,3 +2,3 @@"), "{d}");
+        assert!(d.contains("-three\n"), "{d}");
+        assert!(d.contains("+THREE\n"), "{d}");
+        // Lines outside the context window never appear.
+        assert!(!d.contains("five"), "{d}");
+    }
+
+    #[test]
+    fn distant_changes_get_separate_hunks() {
+        let expected: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let actual = expected
+            .replace("line3\n", "LINE3\n")
+            .replace("line30\n", "LINE30\n");
+        let d = unified("golden", &expected, "run", &actual, 2);
+        assert_eq!(d.matches("@@ -").count(), 2, "{d}");
+    }
+
+    #[test]
+    fn pure_insertion_and_deletion() {
+        let d = unified("golden", "a\nb\n", "run", "a\nx\nb\n", 1);
+        assert!(d.contains("+x\n"), "{d}");
+        let d2 = unified("golden", "a\nx\nb\n", "run", "a\nb\n", 1);
+        assert!(d2.contains("-x\n"), "{d2}");
+    }
+}

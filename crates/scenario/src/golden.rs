@@ -1,0 +1,156 @@
+//! Golden-file plumbing: where goldens live, how a report becomes golden
+//! bytes, and the compare/update primitives the CLI `scenario` subcommand
+//! drives.
+
+use crate::diff;
+use hdoutlier_json::normalize::normalize_report;
+use hdoutlier_json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Context lines around each hunk in mismatch diffs.
+const DIFF_CONTEXT: usize = 3;
+
+/// The golden file for a pack: `<dir>/<name>.json`.
+pub fn golden_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.json"))
+}
+
+/// The exact bytes a golden file holds: the normalized report, pretty,
+/// with a trailing newline. Normalization makes the rendering a fixed
+/// point — a golden read back from disk re-renders to itself.
+pub fn render_golden(report: &Json) -> String {
+    let mut text = normalize_report(report).pretty();
+    text.push('\n');
+    text
+}
+
+/// The result of comparing a run against its golden.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// Byte-identical.
+    Match,
+    /// No golden on disk yet (a new pack, or a clean checkout problem).
+    Missing {
+        /// Where the golden was expected.
+        path: PathBuf,
+    },
+    /// Bytes differ.
+    Mismatch {
+        /// The golden that was compared against.
+        path: PathBuf,
+        /// Unified diff, golden on the `-` side, this run on the `+` side.
+        diff: String,
+    },
+}
+
+/// Compares a report against the checked-in golden.
+///
+/// # Errors
+/// Propagates I/O errors other than the golden simply not existing.
+pub fn check(dir: &Path, name: &str, report: &Json) -> io::Result<CheckOutcome> {
+    let path = golden_path(dir, name);
+    let expected = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(CheckOutcome::Missing { path }),
+        Err(e) => return Err(e),
+    };
+    let actual = render_golden(report);
+    if expected == actual {
+        return Ok(CheckOutcome::Match);
+    }
+    let label = format!("golden/{name}.json");
+    let diff = diff::unified(&label, &expected, "this run", &actual, DIFF_CONTEXT);
+    Ok(CheckOutcome::Mismatch { path, diff })
+}
+
+/// Writes (or rewrites) the golden; returns whether the bytes changed.
+/// Callers gate this behind the pack's invariants — a failing scenario
+/// must never be enshrined as the expectation.
+///
+/// # Errors
+/// Propagates I/O errors creating the directory or writing the file.
+pub fn update(dir: &Path, name: &str, report: &Json) -> io::Result<bool> {
+    let path = golden_path(dir, name);
+    let actual = render_golden(report);
+    let changed = match std::fs::read_to_string(&path) {
+        Ok(existing) => existing != actual,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => true,
+        Err(e) => return Err(e),
+    };
+    if changed {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&path, actual)?;
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoutlier_json::FieldChain;
+
+    fn sample_report(work: f64) -> Json {
+        Json::object()
+            .field("scenario", "t")
+            .field("elapsed_ms", 123.5)
+            .field("work", work)
+            .unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("hdoutlier-golden-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn update_then_check_round_trips() {
+        let dir = temp_dir("round-trip");
+        assert!(update(&dir, "t", &sample_report(7.0)).unwrap());
+        // Identical content: no rewrite reported.
+        assert!(!update(&dir, "t", &sample_report(7.0)).unwrap());
+        assert!(matches!(
+            check(&dir, "t", &sample_report(7.0)).unwrap(),
+            CheckOutcome::Match
+        ));
+    }
+
+    #[test]
+    fn elapsed_changes_do_not_break_the_match() {
+        let dir = temp_dir("volatile");
+        update(&dir, "t", &sample_report(7.0)).unwrap();
+        let mut rerun = sample_report(7.0);
+        if let Json::Object(fields) = &mut rerun {
+            fields[1].1 = Json::Number(9999.0); // a different wall clock
+        }
+        assert!(matches!(
+            check(&dir, "t", &rerun).unwrap(),
+            CheckOutcome::Match
+        ));
+    }
+
+    #[test]
+    fn semantic_changes_produce_a_readable_diff() {
+        let dir = temp_dir("mismatch");
+        update(&dir, "t", &sample_report(7.0)).unwrap();
+        match check(&dir, "t", &sample_report(8.0)).unwrap() {
+            CheckOutcome::Mismatch { diff, .. } => {
+                assert!(diff.contains("-  \"work\": 7"), "{diff}");
+                assert!(diff.contains("+  \"work\": 8"), "{diff}");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_golden_is_distinguished_from_mismatch() {
+        let dir = temp_dir("missing");
+        assert!(matches!(
+            check(&dir, "t", &sample_report(1.0)).unwrap(),
+            CheckOutcome::Missing { .. }
+        ));
+    }
+}

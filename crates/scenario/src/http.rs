@@ -1,0 +1,71 @@
+//! A deliberately tiny HTTP/1.1 client for driving `serve` over real
+//! loopback TCP from inside a scenario pack: one close-delimited request
+//! per connection, exactly like the CLI e2e harness, so the pack exercises
+//! the genuine network path rather than calling `ServeApp::handle`
+//! directly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one request and returns `(status, body)`. `request_id`, when
+/// given, is sent as `X-Request-Id` (the key the serve replay cache uses).
+///
+/// # Errors
+/// Propagates connect/read/write errors; a malformed response surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    request_id: Option<&str>,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let id_header = request_id.map_or(String::new(), |id| format!("X-Request-Id: {id}\r\n"));
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: scenario\r\nConnection: close\r\n\
+             {id_header}Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> std::io::Result<(u16, String)> {
+    let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| invalid("response has no header/body separator"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("response status line is malformed"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = "HTTP/1.1 201 Created\r\nContent-Length: 4\r\n\r\nbody";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(body, "body");
+    }
+
+    #[test]
+    fn malformed_responses_error_instead_of_panicking() {
+        assert!(parse_response("garbage").is_err());
+        assert!(parse_response("HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

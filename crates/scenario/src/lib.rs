@@ -1,0 +1,163 @@
+#![warn(missing_docs)]
+
+//! Named, seeded end-to-end scenario packs with golden-report regression
+//! checks.
+//!
+//! The paper's claims live or die on end-to-end behavior: the
+//! sparsity-coefficient search finding the planted subspace outliers that
+//! distance-based methods miss. Each pack here synthesizes a dataset with
+//! **known planted ground truth** from a fixed seed, drives the *real*
+//! pipelines (batch detection brute + evolutionary, record drill-down,
+//! distance baselines, streaming with checkpoint/kill/resume, `serve` over
+//! loopback TCP), and emits one JSON report. Two independent nets catch
+//! regressions:
+//!
+//! - **Golden files** (`tests/goldens/<name>.json`): the normalized report
+//!   ([`hdoutlier_json::normalize`] scrubs wall-clock fields) is
+//!   byte-compared against a checked-in snapshot, so *any* behavioral
+//!   change — a score, a ranking, a verdict bit — fails CI with a unified
+//!   diff. Regeneration is deliberate: `hdoutlier scenario update-goldens`.
+//! - **Semantic invariants**: each pack asserts ground-truth properties
+//!   (planted rows recovered, precision/recall floors per method, drift
+//!   alarms firing only in the drifted window, resume byte-identity) so a
+//!   golden that was wrong to begin with cannot be silently enshrined —
+//!   `update-goldens` refuses to write while an invariant fails.
+//!
+//! Every pack also carries at least one **cross-method referee** from
+//! [`hdoutlier_baselines`] — CFOF (reverse-kNN rank) or DOD
+//! (distance-profile deviation) — marking where the paper's sparsity
+//! coefficient is expected to win *and where it is expected to lose*
+//! (systemic shifts that leave every subspace locally plausible).
+//!
+//! Reports are deterministic by construction: seeded generators, total-order
+//! merges, and thread-count-invariant pipelines, so the same scenario
+//! produces byte-identical normalized reports at `--threads 1/2/8`.
+
+pub mod diff;
+pub mod golden;
+pub mod http;
+pub mod packs;
+pub mod report;
+pub mod synth;
+
+use hdoutlier_json::Json;
+use std::fmt;
+
+/// Knobs shared by every scenario run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Pool threads handed to every threaded pipeline stage. The report
+    /// must not depend on it — the CLI's cross-thread test enforces that.
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { threads: 1 }
+    }
+}
+
+/// One semantic ground-truth assertion evaluated by a pack.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// Stable kebab-case identifier, e.g. `planted-recovered`.
+    pub name: String,
+    /// Whether the assertion held on this run.
+    pub holds: bool,
+    /// Human-readable evidence (the observed numbers).
+    pub detail: String,
+}
+
+impl Invariant {
+    /// Records an assertion outcome.
+    pub fn check(name: &str, holds: bool, detail: impl Into<String>) -> Invariant {
+        Invariant {
+            name: name.to_string(),
+            holds,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// What a scenario run produced: the full JSON report (with the
+/// invariants embedded under `"invariants"`) plus the typed list for
+/// programmatic gating.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The full report, golden-comparable after normalization.
+    pub report: Json,
+    /// The semantic assertions, in evaluation order.
+    pub invariants: Vec<Invariant>,
+}
+
+impl Outcome {
+    /// The invariants that did not hold.
+    pub fn failed_invariants(&self) -> Vec<&Invariant> {
+        self.invariants.iter().filter(|i| !i.holds).collect()
+    }
+}
+
+/// A pipeline stage failed in a way ground truth cannot explain.
+#[derive(Debug)]
+pub struct ScenarioError(pub String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario pipeline failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Wraps any pipeline error into a [`ScenarioError`]; packs use it as
+/// `map_err(pipe)`.
+pub fn pipe<E: fmt::Display>(e: E) -> ScenarioError {
+    ScenarioError(e.to_string())
+}
+
+/// The signature every pack's pipeline driver has.
+pub type RunFn = fn(&RunConfig) -> Result<Outcome, ScenarioError>;
+
+/// A named, seeded scenario pack.
+pub struct Scenario {
+    /// Stable kebab-case name — also the golden file stem.
+    pub name: &'static str,
+    /// One-line description for `scenario list`.
+    pub summary: &'static str,
+    /// The seed every generator and search in the pack derives from.
+    pub seed: u64,
+    run: RunFn,
+}
+
+impl Scenario {
+    /// Builds a pack descriptor. Exposed so harnesses can define synthetic
+    /// packs — e.g. to test the golden gate's invariant guard itself.
+    pub fn new(name: &'static str, summary: &'static str, seed: u64, run: RunFn) -> Scenario {
+        Scenario {
+            name,
+            summary,
+            seed,
+            run,
+        }
+    }
+
+    /// Runs the pack's pipelines and invariants.
+    ///
+    /// # Errors
+    /// [`ScenarioError`] when a pipeline stage itself fails (as opposed to
+    /// an invariant not holding, which is reported in the [`Outcome`]).
+    pub fn run(&self, config: &RunConfig) -> Result<Outcome, ScenarioError> {
+        (self.run)(config)
+    }
+}
+
+/// The full registry, in canonical order (golden directories and docs
+/// follow it).
+pub fn all() -> Vec<Scenario> {
+    packs::all()
+}
+
+/// Looks a pack up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}

@@ -1,0 +1,45 @@
+//! The scenario registry: six named, seeded packs covering the pipeline
+//! surface — batch detection (brute + evolutionary), record drill-down,
+//! distance baselines and referees, streaming with drift and
+//! checkpoint/kill/resume, and `serve` over loopback TCP.
+
+mod adversarial_near_duplicates;
+mod fraud_burst;
+mod network_intrusion;
+mod seasonal_shift;
+mod sensor_drift;
+mod stress_high_phi_high_d;
+
+use crate::Scenario;
+
+/// Every pack, in canonical order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        fraud_burst::scenario(),
+        network_intrusion::scenario(),
+        sensor_drift::scenario(),
+        seasonal_shift::scenario(),
+        adversarial_near_duplicates::scenario(),
+        stress_high_phi_high_d::scenario(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_names_are_unique_and_kebab_case() {
+        let packs = super::all();
+        assert!(packs.len() >= 6);
+        let mut names: Vec<&str> = packs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), packs.len(), "duplicate scenario name");
+        for name in names {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "name {name} is not kebab-case"
+            );
+        }
+    }
+}

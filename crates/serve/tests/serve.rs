@@ -583,3 +583,112 @@ fn drain_checkpoints_every_session_and_closes_the_listener() {
     // The listener is gone: connecting now fails.
     assert!(std::net::TcpStream::connect(addr).is_err());
 }
+
+/// A request carrying a client-supplied `X-Request-Id`: header and
+/// connection id agree, which is the condition that keys the replay cache.
+fn req_with_id(method: &str, path: &str, id: &str, body: impl Into<Vec<u8>>) -> Request {
+    Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: None,
+        headers: vec![("x-request-id".to_string(), id.to_string())],
+        body: body.into(),
+        http1_0: false,
+        request_id: id.to_string(),
+    }
+}
+
+#[test]
+fn replay_cache_evicts_fifo_at_the_capacity_boundary() {
+    let (model, ds) = fitted(83);
+    let app = ServeApp::new(ServeConfig {
+        replay_cache: 2,
+        ..ServeConfig::default()
+    });
+    let created = app.handle(&req(
+        "POST",
+        "/sessions",
+        create_body(&model, "\"id\": \"r\""),
+    ));
+    assert_eq!(created.status, 201, "{}", body_text(&created));
+
+    let records_scored = || {
+        body_json(&app.handle(&req("GET", "/sessions/r", "")))
+            .get("records_scored")
+            .unwrap()
+            .as_number()
+            .unwrap()
+    };
+
+    // Fill the cache exactly to capacity: r1 then r2.
+    let body1 = ndjson_rows(&ds, 0..3);
+    let body2 = ndjson_rows(&ds, 3..6);
+    let body3 = ndjson_rows(&ds, 6..9);
+    let resp1 = app.handle(&req_with_id(
+        "POST",
+        "/sessions/r/score",
+        "r1",
+        body1.clone(),
+    ));
+    let resp2 = app.handle(&req_with_id(
+        "POST",
+        "/sessions/r/score",
+        "r2",
+        body2.clone(),
+    ));
+    assert_eq!(resp1.status, 200);
+    assert_eq!(resp2.status, 200);
+    assert_eq!(records_scored(), 6.0);
+
+    // At capacity, a cached id replays byte-identically without advancing
+    // the scorer.
+    let replayed = app.handle(&req_with_id(
+        "POST",
+        "/sessions/r/score",
+        "r2",
+        body2.clone(),
+    ));
+    assert_eq!(replayed.body, resp2.body, "replay must be byte-identical");
+    assert_eq!(records_scored(), 6.0, "replay must not re-score");
+
+    // The (N+1)th distinct id crosses the boundary and evicts the OLDEST
+    // entry (r1) — insertion-order FIFO, unmoved by r2's recent hit.
+    let resp3 = app.handle(&req_with_id(
+        "POST",
+        "/sessions/r/score",
+        "r3",
+        body3.clone(),
+    ));
+    assert_eq!(resp3.status, 200);
+    assert_eq!(records_scored(), 9.0);
+
+    // Survivors r2 and r3 still replay...
+    let replayed = app.handle(&req_with_id("POST", "/sessions/r/score", "r3", body3));
+    assert_eq!(replayed.body, resp3.body);
+    let replayed = app.handle(&req_with_id("POST", "/sessions/r/score", "r2", body2));
+    assert_eq!(replayed.body, resp2.body);
+    assert_eq!(records_scored(), 9.0, "hits never advance the scorer");
+
+    // ...but the evicted r1 misses and RE-SCORES: same input rows, scored
+    // at the stream's current position, so the verdict indices differ from
+    // the original response.
+    let rescored = app.handle(&req_with_id("POST", "/sessions/r/score", "r1", body1));
+    assert_eq!(rescored.status, 200);
+    assert_eq!(records_scored(), 12.0, "an evicted id re-scores");
+    assert_ne!(
+        rescored.body, resp1.body,
+        "re-scored batch carries advanced stream indices"
+    );
+    // Exactly what a continuous scorer would emit for rows 0..9 then 0..3.
+    let mut scorer = OnlineScorer::new(model.clone()).unwrap();
+    let mut expected = String::new();
+    for i in (0..9).chain(0..3) {
+        let verdict = scorer.score_record(ds.row(i)).unwrap();
+        expected.push_str(&verdict_json(&verdict, &scorer).unwrap().render());
+        expected.push('\n');
+    }
+    assert_eq!(
+        body_text(&rescored),
+        &expected[expected.len() - rescored.body.len()..]
+    );
+}

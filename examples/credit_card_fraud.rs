@@ -2,137 +2,57 @@
 //! subset of the attributes which are actually affected by the abnormality
 //! of the activity are likely to be useful in detecting the behavior."
 //!
-//! We synthesize a transaction-profile dataset: customer aggregates over
-//! correlated behavioral attributes (amounts, frequencies, merchant mix,
-//! geography). Two fraud patterns are planted:
-//!
-//! - **account takeover**: high transaction frequency with *low* average
-//!   amount — individually normal, jointly contrarian (card testing);
-//! - **merchant collusion**: high online-spend share with *low* distinct
-//!   merchant count.
-//!
-//! Full-dimensional distance sees neither, because the other attributes of
-//! the fraudulent accounts are perfectly typical.
+//! This example is a thin wrapper over the **fraud-burst scenario pack**
+//! (`hdoutlier scenario run fraud-burst`): a seeded dataset with planted
+//! contrarian transactions that brute-force and evolutionary subspace
+//! search must recover, a kNN baseline expected to do no better, and a
+//! CFOF rank-based referee. The pack is the same code path CI pins with a
+//! golden report, so what this example demonstrates is exactly what the
+//! regression suite guarantees.
 //!
 //! ```text
 //! cargo run --release --example credit_card_fraud
 //! ```
 
-use hdoutlier::baselines::{ramaswamy_top_n, Metric};
-use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
-use hdoutlier::data::dataset::Dataset;
-use hdoutlier::data::discretize::{DiscretizeStrategy, Discretized};
-use hdoutlier_rng::rngs::StdRng;
-use hdoutlier_rng::{Rng, SeedableRng};
-
-const NAMES: [&str; 10] = [
-    "txn_count",
-    "avg_amount",
-    "online_share",
-    "distinct_merchants",
-    "night_share",
-    "intl_share",
-    "atm_count",
-    "atm_amount",
-    "decline_rate",
-    "new_merchant_rate",
-];
-
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
+use hdoutlier::scenario::{find, RunConfig};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(99);
-    let n = 5000usize;
+    let pack = find("fraud-burst").expect("fraud-burst pack is registered");
+    println!("scenario: {} (seed 0x{:x})", pack.name, pack.seed);
+    println!("  {}\n", pack.summary);
 
-    // Correlated pairs: (txn_count, avg_amount) both driven by "activity";
-    // (online_share, distinct_merchants) by "online-savviness";
-    // (atm_count, atm_amount) by "cash habit". The rest are noise-ish.
-    let mut rows: Vec<Vec<f64>> = (0..n)
-        .map(|_| {
-            let activity = standard_normal(&mut rng);
-            let online = standard_normal(&mut rng);
-            let cash = standard_normal(&mut rng);
-            let noise = |rng: &mut StdRng| 0.31 * standard_normal(rng);
-            vec![
-                0.95 * activity + noise(&mut rng), // txn_count
-                0.95 * activity + noise(&mut rng), // avg_amount
-                0.95 * online + noise(&mut rng),   // online_share
-                0.95 * online + noise(&mut rng),   // distinct_merchants
-                standard_normal(&mut rng),         // night_share
-                standard_normal(&mut rng),         // intl_share
-                0.95 * cash + noise(&mut rng),     // atm_count
-                0.95 * cash + noise(&mut rng),     // atm_amount
-                standard_normal(&mut rng),         // decline_rate
-                standard_normal(&mut rng),         // new_merchant_rate
-            ]
-        })
-        .collect();
+    let outcome = pack.run(&RunConfig::default()).expect("pipelines run");
 
-    // Plant fraud: 5 account takeovers, 5 collusion rings. Each value is at
-    // a mild quantile (~10 % / ~90 %) — nothing a single-attribute rule
-    // would flag.
-    let z = 1.28;
-    let mut fraud_rows = Vec::new();
-    for i in 0..5 {
-        let r = 137 + i * 401;
-        rows[r][0] = z; // many transactions...
-        rows[r][1] = -z; // ...of tiny amounts
-        fraud_rows.push(r);
-    }
-    for i in 0..5 {
-        let r = 211 + i * 377;
-        rows[r][2] = z; // heavy online spend...
-        rows[r][3] = -z; // ...at almost no distinct merchants
-        fraud_rows.push(r);
-    }
-    fraud_rows.sort_unstable();
-
-    let mut dataset = Dataset::from_rows(rows).unwrap();
-    dataset.set_names(NAMES.to_vec()).unwrap();
-
-    // Subspace detector.
-    let report = OutlierDetector::builder()
-        .phi(5)
-        .k(2)
-        .m(10)
-        .seed(3)
-        .search(SearchMethod::Evolutionary)
-        .build()
-        .detect(&dataset)
-        .unwrap();
-
-    let disc = Discretized::new(&dataset, 5, DiscretizeStrategy::EquiDepth).unwrap();
-    println!("subspace projections flagged:");
-    for i in 0..report.projections.len().min(6) {
-        println!("  {}", report.explain(i, &disc));
-    }
-    let hits = report
-        .outlier_rows
-        .iter()
-        .filter(|r| fraud_rows.binary_search(r).is_ok())
-        .count();
+    let dataset = outcome.report.get("dataset").expect("dataset section");
     println!(
-        "\nsubspace method: flagged {} accounts, {hits}/{} planted fraudsters among them",
-        report.outlier_rows.len(),
-        fraud_rows.len()
+        "dataset: {} rows x {} dims, planted fraudulent rows: {}",
+        dataset
+            .get("rows")
+            .and_then(|j| j.as_number())
+            .unwrap_or(0.0),
+        dataset
+            .get("dims")
+            .and_then(|j| j.as_number())
+            .unwrap_or(0.0),
+        dataset
+            .get("planted")
+            .map(|j| j.render())
+            .unwrap_or_default(),
     );
 
-    // Full-dimensional kNN-distance baseline with the same budget.
-    let top = ramaswamy_top_n(&dataset, 1, report.outlier_rows.len(), Metric::Euclidean).unwrap();
-    let knn_hits = top
-        .iter()
-        .filter(|o| fraud_rows.binary_search(&o.row).is_ok())
-        .count();
-    println!(
-        "kNN-distance baseline: same budget, {knn_hits}/{} planted fraudsters found",
-        fraud_rows.len()
-    );
+    println!("\nground-truth invariants:");
+    for inv in &outcome.invariants {
+        println!(
+            "  [{}] {}: {}",
+            if inv.holds { "PASS" } else { "FAIL" },
+            inv.name,
+            inv.detail
+        );
+    }
+
     assert!(
-        hits > knn_hits,
-        "subspace should beat full-dimensional distance on this workload"
+        outcome.failed_invariants().is_empty(),
+        "the fraud-burst pack's ground truth must hold"
     );
+    println!("\nall invariants hold — the subspace method finds what full-space distance cannot.");
 }

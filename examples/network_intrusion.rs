@@ -2,112 +2,49 @@
 //! where an attack "may provide guidance in discovering the causalities of
 //! the abnormal behavior" — the *projection* is the diagnosis.
 //!
-//! Planted behaviors:
-//! - **data exfiltration**: huge outbound/inbound byte ratio at a *normal*
-//!   connection duration (bulk correlates bytes with duration);
-//! - **port scan**: many distinct destination ports with *tiny* total bytes.
-//!
-//! The point of this example is interpretability: the report names the
-//! attribute ranges, so an analyst reads "dst_ports high AND total_bytes
-//! low" directly off the output — the intensional knowledge distance-based
-//! methods cannot give.
+//! This example is a thin wrapper over the **network-intrusion scenario
+//! pack** (`hdoutlier scenario run network-intrusion`): planted intrusions
+//! in wide telemetry, recovered by brute-force subspace search, then
+//! drilled into per record (which 2-dim views are abnormal, and how
+//! significant each is) with an intensional explanation an analyst can
+//! read directly. A DOD distance-profile referee shows the full-space
+//! alternative doing no better. The pack is pinned by a golden report in
+//! CI, so this output is regression-guaranteed.
 //!
 //! ```text
 //! cargo run --release --example network_intrusion
 //! ```
 
-use hdoutlier::core::detector::{OutlierDetector, SearchMethod};
-use hdoutlier::data::dataset::Dataset;
-use hdoutlier::data::discretize::{DiscretizeStrategy, Discretized};
-use hdoutlier_rng::rngs::StdRng;
-use hdoutlier_rng::{Rng, SeedableRng};
-
-const NAMES: [&str; 8] = [
-    "duration_s",
-    "bytes_out",
-    "bytes_in",
-    "dst_ports",
-    "total_bytes",
-    "pkt_rate",
-    "syn_ratio",
-    "dns_queries",
-];
-
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
+use hdoutlier::scenario::{find, RunConfig};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2024);
-    let n = 4000usize;
+    let pack = find("network-intrusion").expect("network-intrusion pack is registered");
+    println!("scenario: {} (seed 0x{:x})", pack.name, pack.seed);
+    println!("  {}\n", pack.summary);
 
-    // Bulk: (duration, bytes_out) correlated; (dst_ports, total_bytes)
-    // correlated; rest noise.
-    let mut rows: Vec<Vec<f64>> = (0..n)
-        .map(|_| {
-            let session = standard_normal(&mut rng);
-            let fanout = standard_normal(&mut rng);
-            let nz = |rng: &mut StdRng| 0.31 * standard_normal(rng);
-            vec![
-                0.95 * session + nz(&mut rng), // duration
-                0.95 * session + nz(&mut rng), // bytes_out
-                standard_normal(&mut rng),     // bytes_in
-                0.95 * fanout + nz(&mut rng),  // dst_ports
-                0.95 * fanout + nz(&mut rng),  // total_bytes
-                standard_normal(&mut rng),     // pkt_rate
-                standard_normal(&mut rng),     // syn_ratio
-                standard_normal(&mut rng),     // dns_queries
-            ]
-        })
-        .collect();
+    let outcome = pack.run(&RunConfig::default()).expect("pipelines run");
 
-    let z = 1.28;
-    let mut attacks = Vec::new();
-    for i in 0..4 {
-        let r = 321 + i * 731;
-        rows[r][0] = -z; // short session...
-        rows[r][1] = z; // ...with heavy outbound traffic: exfiltration
-        attacks.push((r, "exfiltration"));
-    }
-    for i in 0..4 {
-        let r = 87 + i * 911;
-        rows[r][3] = z; // many destination ports...
-        rows[r][4] = -z; // ...almost no payload: port scan
-        attacks.push((r, "port scan"));
+    // The interpretability payoff: the report carries the drilled-down
+    // views of one detected intrusion and its intensional description.
+    let pipelines = outcome.report.get("pipelines").expect("pipelines section");
+    if let Some(drill) = pipelines.get("drill_down") {
+        println!("drill-down of one detected intrusion:");
+        println!("{}", drill.pretty());
     }
 
-    let mut dataset = Dataset::from_rows(rows).unwrap();
-    dataset.set_names(NAMES.to_vec()).unwrap();
-
-    // Brute force is exact and cheap at d = 8.
-    let report = OutlierDetector::builder()
-        .phi(5)
-        .k(2)
-        .m(12)
-        .search(SearchMethod::BruteForce)
-        .build()
-        .detect(&dataset)
-        .unwrap();
-
-    let disc = Discretized::new(&dataset, 5, DiscretizeStrategy::EquiDepth).unwrap();
-    println!("abnormally sparse projections (the diagnosis an analyst reads):");
-    for i in 0..report.projections.len().min(6) {
-        println!("  {}", report.explain(i, &disc));
-    }
-    println!();
-    for (row, kind) in &attacks {
-        let caught = report.outlier_rows.binary_search(row).is_ok();
+    println!("\nground-truth invariants:");
+    for inv in &outcome.invariants {
         println!(
-            "flow {row:>4} ({kind}): {}",
-            if caught { "FLAGGED" } else { "missed" }
+            "  [{}] {}: {}",
+            if inv.holds { "PASS" } else { "FAIL" },
+            inv.name,
+            inv.detail
         );
     }
-    let caught = attacks
-        .iter()
-        .filter(|(r, _)| report.outlier_rows.binary_search(r).is_ok())
-        .count();
-    println!("\ncaught {caught}/{} planted attacks", attacks.len());
-    assert!(caught >= attacks.len() / 2);
+
+    assert!(
+        outcome.failed_invariants().is_empty(),
+        "the network-intrusion pack's ground truth must hold"
+    );
+    println!("\nall invariants hold — the projection is the diagnosis.");
 }

@@ -19,6 +19,7 @@ pub use hdoutlier_data as data;
 pub use hdoutlier_evolve as evolve;
 pub use hdoutlier_index as index;
 pub use hdoutlier_obs as obs;
+pub use hdoutlier_scenario as scenario;
 pub use hdoutlier_stats as stats;
 pub use hdoutlier_stream as stream;
 
